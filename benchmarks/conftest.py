@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one evaluation artifact of the paper (a table,
+a Fig. 7 panel, or an ablation; see DESIGN.md's experiment index), asserts
+the *shape* criteria recorded in EXPERIMENTS.md, prints the regenerated
+rows (run with ``-s`` to see them), and attaches the raw numbers to
+pytest-benchmark's ``extra_info``.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink the sweeps for smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+
+def attach_series(benchmark, series) -> None:
+    from repro.bench.report import render_series, series_to_csv
+
+    benchmark.extra_info["csv"] = series_to_csv(series)
+    print()
+    print(render_series(series))
+
+
+def run_once(benchmark, fn):
+    """Run a whole-artifact regeneration exactly once under the timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def quick() -> bool:
+    return QUICK

@@ -1,0 +1,125 @@
+"""Ablation F — GPU offloading crossover (variant selection, Example 2.3).
+
+The paper motivates runtime data control with, among others, "the
+offloading of computation to GPUs".  With device variants attached to the
+tasks, the scheduling policy picks CPU or GPU per task by comparing
+end-to-end costs (transfers + launch vs. core time).  This bench sweeps
+arithmetic intensity: transfer-bound kernels stay on the CPU, compute-
+bound kernels offload and win.
+"""
+
+from benchmarks.conftest import run_once
+from repro.api import box_region
+from repro.api.pfor import pfor
+from repro.bench.report import render_table
+from repro.items.grid import Grid
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import AllScaleRuntime
+from repro.sim.accelerator import AcceleratorSpec
+from repro.sim.cluster import Cluster, ClusterSpec
+
+NODES = 4
+SHAPE = (2048, 1024)
+INTENSITIES = (4.0, 64.0, 1024.0)  # FLOPs per element
+
+
+def make_cluster(gpus: int) -> Cluster:
+    return Cluster(
+        ClusterSpec(
+            num_nodes=NODES,
+            cores_per_node=4,
+            flops_per_core=2.4e9,
+            gpus_per_node=gpus,
+            gpu=AcceleratorSpec(),  # 4 TFLOP/s, PCIe-class link
+        )
+    )
+
+
+def run_sweep_with_gpu_variant(gpus: int, intensity: float) -> dict:
+    from repro.api.prec import PrecFunction, default_granularity
+    from repro.api.pfor import _split_box
+    from repro.regions.box import Box
+
+    runtime = AllScaleRuntime(
+        make_cluster(gpus), RuntimeConfig(functional=False, oversubscription=2)
+    )
+    grid = Grid(SHAPE, name="g")
+    runtime.register_item(grid, placement=grid.decompose(NODES))
+    total_flops = SHAPE[0] * SHAPE[1] * intensity
+    recursion = PrecFunction(
+        base_test=lambda box: False,  # granularity decides
+        base=lambda ctx, box: None,
+        split=_split_box,
+        reads=lambda box: {grid: box_region(grid, box)},
+        writes=lambda box: {grid: box_region(grid, box)},
+        cost=lambda box: intensity * box.size(),
+        size=lambda box: float(box.size()),
+        name="kernel",
+    )
+    granularity = default_granularity(runtime, float(SHAPE[0] * SHAPE[1]))
+    root = recursion.task(Box.full(SHAPE), granularity)
+
+    def add_gpu_variant(task):
+        task.gpu_flops = task.flops
+        if task.splitter is not None:
+            original = task.splitter
+
+            def wrapped():
+                children = original()
+                for child in children:
+                    add_gpu_variant(child)
+                return children
+
+            task.splitter = wrapped
+        return task
+
+    runtime.wait(runtime.submit(add_gpu_variant(root)))
+    elapsed = runtime.now
+    return {
+        "gflops": total_flops / elapsed / 1e9,
+        "offloads": runtime.metrics.counter("proc.gpu_offloads"),
+    }
+
+
+def run_ablation():
+    out = {}
+    for intensity in INTENSITIES:
+        cpu = run_sweep_with_gpu_variant(0, intensity)
+        gpu = run_sweep_with_gpu_variant(1, intensity)
+        out[intensity] = {
+            "cpu_gflops": cpu["gflops"],
+            "gpu_gflops": gpu["gflops"],
+            "offloads": gpu["offloads"],
+            "speedup": gpu["gflops"] / cpu["gflops"],
+        }
+    return out
+
+
+def test_ablation_gpu_offload(benchmark):
+    results = run_once(benchmark, run_ablation)
+    print()
+    print(
+        render_table(
+            ["FLOPs/elem", "CPU GFLOPS", "+GPU GFLOPS", "offloads", "speedup"],
+            [
+                (
+                    f"{intensity:g}",
+                    f"{r['cpu_gflops']:.1f}",
+                    f"{r['gpu_gflops']:.1f}",
+                    f"{r['offloads']:.0f}",
+                    f"{r['speedup']:.2f}×",
+                )
+                for intensity, r in results.items()
+            ],
+        )
+    )
+    for intensity, r in results.items():
+        benchmark.extra_info[f"speedup_{intensity:g}"] = r["speedup"]
+    # transfer-bound kernels stay on the CPU: no offloads, no regression
+    low = results[INTENSITIES[0]]
+    assert low["offloads"] == 0
+    assert low["speedup"] > 0.95
+    # compute-bound kernels offload and win clearly
+    high = results[INTENSITIES[-1]]
+    assert high["offloads"] > 0
+    assert high["speedup"] > 3.0

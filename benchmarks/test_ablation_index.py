@@ -1,0 +1,81 @@
+"""Ablation B — hierarchical index lookup cost (Fig. 5 / Algorithm 1).
+
+Each process maintains O(log₂ P) regions and a lookup escalates through at
+most the hierarchy height, so remote-region lookups should cost a
+logarithmic number of hops — this bench measures mean/max hops and mean
+resolution latency across process counts.
+"""
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.bench.report import render_table
+from repro.items.grid import Grid
+from repro.runtime.index import HierarchicalIndex
+from repro.sim.cluster import Cluster, ClusterSpec
+
+PROCESS_COUNTS = (4, 16, 64, 256)
+LOOKUPS = 200
+
+
+def run_point(num_processes: int):
+    cluster = Cluster(ClusterSpec(num_nodes=num_processes, cores_per_node=1))
+    index = HierarchicalIndex(cluster.network, num_processes)
+    grid = Grid((num_processes * 64, 64), name="g")
+    index.register_item(grid)
+    blocks = grid.decompose(num_processes)
+    for pid, region in enumerate(blocks):
+        index.update_ownership(grid, pid, region)
+
+    rng = random.Random(31)
+    hops = []
+    latencies = []
+    for _ in range(LOOKUPS):
+        origin = rng.randrange(num_processes)
+        target = rng.randrange(num_processes)
+        before_hops = index.lookup_hops
+        start = cluster.engine.now
+        done = cluster.engine.spawn(
+            index.lookup(grid, blocks[target], origin)
+        )
+        cluster.engine.run()
+        mapping, unresolved = done.value
+        assert unresolved.is_empty()
+        hops.append(index.lookup_hops - before_hops)
+        latencies.append(cluster.engine.now - start)
+    return {
+        "mean_hops": sum(hops) / len(hops),
+        "max_hops": max(hops),
+        "mean_latency_us": 1e6 * sum(latencies) / len(latencies),
+    }
+
+
+def run_ablation():
+    return {p: run_point(p) for p in PROCESS_COUNTS}
+
+
+def test_ablation_index_lookup(benchmark):
+    results = run_once(benchmark, run_ablation)
+    print()
+    print(
+        render_table(
+            ["processes", "mean hops", "max hops", "mean latency [µs]"],
+            [
+                (
+                    str(p),
+                    f"{r['mean_hops']:.2f}",
+                    str(r["max_hops"]),
+                    f"{r['mean_latency_us']:.2f}",
+                )
+                for p, r in results.items()
+            ],
+        )
+    )
+    for p, r in results.items():
+        benchmark.extra_info[f"hops_p{p}"] = r["mean_hops"]
+    # logarithmic growth: hops grow by a bounded additive amount per 4× P,
+    # nowhere near linearly in P
+    assert results[256]["max_hops"] <= 3 * results[16]["max_hops"] + 6
+    assert results[256]["mean_hops"] < 24
+    # locality: lookups of local data are free
+    assert results[4]["mean_hops"] < results[256]["mean_hops"] + 8

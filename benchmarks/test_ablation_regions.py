@@ -1,0 +1,101 @@
+"""Ablation A — region scheme trade-off (Fig. 4b vs Fig. 4c).
+
+The paper motivates two tree region schemes: flexible include/exclude
+sub-trees (arbitrary distributions, per-switch-point cost) and blocked
+bitmasks ("a much more efficient scheme, yet less flexible distribution
+options").  This ablation quantifies both claims: operation cost and
+representation size under block-aligned partitions, and expressiveness
+under arbitrary node sets.
+"""
+
+import random
+import time
+
+from benchmarks.conftest import run_once
+from repro.bench.report import render_table
+from repro.regions.blocked_tree import BlockedTreeGeometry, BlockedTreeRegion
+from repro.regions.tree import TreeGeometry, TreeRegion
+
+DEPTH = 12
+ROOT_HEIGHT = 6
+OPS = 400
+
+
+def _random_block_sets(rng, geometry, count):
+    regions = []
+    for _ in range(count):
+        blocks = rng.sample(
+            range(1, geometry.num_blocks + 1), rng.randint(1, geometry.num_blocks)
+        )
+        regions.append(blocks)
+    return regions
+
+
+def _time_ops(make_region, block_sets):
+    regions = [make_region(blocks) for blocks in block_sets]
+    start = time.perf_counter()
+    for a in regions:
+        for b in regions[: len(regions) // 8]:
+            a.union(b)
+            a.intersect(b)
+            a.difference(b)
+    elapsed = time.perf_counter() - start
+    ops = len(regions) * (len(regions) // 8) * 3
+    return ops / elapsed, regions
+
+
+def run_ablation():
+    rng = random.Random(99)
+    blocked_geometry = BlockedTreeGeometry(depth=DEPTH, root_height=ROOT_HEIGHT)
+    tree_geometry = TreeGeometry(DEPTH)
+    block_sets = _random_block_sets(rng, blocked_geometry, 40)
+
+    blocked_rate, blocked_regions = _time_ops(
+        lambda blocks: BlockedTreeRegion.of_blocks(blocked_geometry, blocks),
+        block_sets,
+    )
+    flexible_rate, flexible_regions = _time_ops(
+        lambda blocks: TreeRegion.of_subtrees(
+            tree_geometry,
+            [blocked_geometry.block_root(b) for b in blocks],
+        ),
+        block_sets,
+    )
+    blocked_bits = blocked_regions[0].representation_size()
+    flexible_marks = max(r.representation_size() for r in flexible_regions)
+    return {
+        "blocked_ops_per_s": blocked_rate,
+        "flexible_ops_per_s": flexible_rate,
+        "speedup": blocked_rate / flexible_rate,
+        "blocked_repr_bits": blocked_bits,
+        "flexible_repr_marks": flexible_marks,
+    }
+
+
+def test_ablation_region_schemes(benchmark):
+    stats = run_once(benchmark, run_ablation)
+    print()
+    print(
+        render_table(
+            ["scheme", "region ops/s", "representation"],
+            [
+                (
+                    "blocked bitmask (Fig. 4c)",
+                    f"{stats['blocked_ops_per_s']:.3g}",
+                    f"{stats['blocked_repr_bits']} bits",
+                ),
+                (
+                    "flexible sub-trees (Fig. 4b)",
+                    f"{stats['flexible_ops_per_s']:.3g}",
+                    f"≤{stats['flexible_marks'] if 'flexible_marks' in stats else stats['flexible_repr_marks']} switch points",
+                ),
+            ],
+        )
+    )
+    benchmark.extra_info.update(stats)
+    # the paper's efficiency claim: bitmask ops are much cheaper
+    assert stats["speedup"] > 10
+    # the flexibility claim: only the flexible scheme expresses single nodes
+    geometry = TreeGeometry(DEPTH)
+    single = TreeRegion.of_nodes(geometry, [5])
+    assert single.size() == 1

@@ -1,0 +1,29 @@
+"""Regenerates Fig. 7, middle panel: iPiC3D throughput [particle updates/s].
+
+Shape criteria: like the stencil, the real-world PIC application shows
+comparable AllScale and MPI performance and near-linear weak scaling
+(paper §4.2), with single-node throughput calibrated near the paper's
+left edge (~6.5·10⁴ particle updates/s per node).
+"""
+
+from benchmarks.conftest import QUICK, attach_series, run_once
+from repro.bench.figures import fig7_ipic3d
+from repro.bench.harness import parallel_efficiency
+
+
+def test_fig7_ipic3d(benchmark):
+    series = run_once(benchmark, lambda: fig7_ipic3d(quick=QUICK))
+    attach_series(benchmark, series)
+
+    for point in series.points:
+        assert 0.5 <= point.ratio <= 1.2, (
+            f"AllScale/MPI ratio {point.ratio:.2f} at {point.nodes} nodes"
+        )
+    assert parallel_efficiency(series, "allscale") > 0.6
+    assert parallel_efficiency(series, "mpi") > 0.6
+    for prev, cur in zip(series.points, series.points[1:]):
+        assert cur.allscale > prev.allscale
+        assert cur.mpi > prev.mpi
+    # calibration anchor: single node in the 10⁴–10⁵ updates/s decade
+    single = series.points[0]
+    assert 2e4 <= single.allscale <= 2e5

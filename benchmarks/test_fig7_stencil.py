@@ -1,0 +1,30 @@
+"""Regenerates Fig. 7, left panel: stencil weak-scaling throughput [GFLOPS].
+
+Shape criteria (paper §4.2: "comparable performance and scalability"):
+
+* AllScale stays within a modest constant factor of MPI at every node
+  count (no widening gap);
+* both systems scale near-linearly to 64 nodes (parallel efficiency well
+  above 0.5).
+"""
+
+from benchmarks.conftest import QUICK, attach_series, run_once
+from repro.bench.figures import fig7_stencil
+from repro.bench.harness import parallel_efficiency
+
+
+def test_fig7_stencil(benchmark):
+    series = run_once(benchmark, lambda: fig7_stencil(quick=QUICK))
+    attach_series(benchmark, series)
+
+    for point in series.points:
+        assert 0.5 <= point.ratio <= 1.2, (
+            f"AllScale/MPI ratio {point.ratio:.2f} at {point.nodes} nodes "
+            "outside the 'comparable performance' band"
+        )
+    assert parallel_efficiency(series, "allscale") > 0.6
+    assert parallel_efficiency(series, "mpi") > 0.6
+    # throughput strictly increases with node count for both systems
+    for prev, cur in zip(series.points, series.points[1:]):
+        assert cur.allscale > prev.allscale
+        assert cur.mpi > prev.mpi

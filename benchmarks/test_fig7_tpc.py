@@ -1,0 +1,41 @@
+"""Regenerates Fig. 7, right panel: TPC throughput [queries/s].
+
+Shape criteria (paper §4.2): "MPI obtains higher performance, while
+AllScale can only gain performance improvements up to 8 nodes" — the many
+small, unaggregated per-sub-tree tasks make the AllScale traversal
+latency-sensitive, while the MPI reference aggregates query batches.
+
+* at 1 node the two systems are comparable;
+* MPI keeps improving through 64 nodes;
+* AllScale clearly trails MPI at scale, with the gap growing;
+* AllScale's gains flatten beyond ~8–16 nodes.
+"""
+
+from benchmarks.conftest import QUICK, attach_series, run_once
+from repro.bench.figures import fig7_tpc
+
+
+def test_fig7_tpc(benchmark):
+    series = run_once(benchmark, lambda: fig7_tpc(quick=QUICK))
+    attach_series(benchmark, series)
+
+    first = series.points[0]
+    assert first.ratio > 0.8, "single-node systems should be comparable"
+
+    # MPI monotonically improves
+    for prev, cur in zip(series.points, series.points[1:]):
+        assert cur.mpi > prev.mpi
+
+    if not QUICK:
+        last = series.point_at(64)
+        mid = series.point_at(8)
+        # the gap at scale: AllScale well below MPI at 64 nodes
+        assert last.ratio < 0.5, (
+            f"expected AllScale ≪ MPI at 64 nodes, got ratio {last.ratio:.2f}"
+        )
+        # the gap grows with node count
+        assert last.ratio < first.ratio
+        # flattening: the 8→64 gain is far below the 8× ideal
+        assert last.allscale / mid.allscale < 3.0
+        # ... while MPI keeps a healthy fraction of ideal scaling
+        assert last.mpi / mid.mpi > 3.0

@@ -1,0 +1,26 @@
+"""Regenerates Table 1 — the list of target application codes."""
+
+from benchmarks.conftest import run_once
+from repro.bench.report import render_table1
+from repro.bench.tables import table1
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1)
+    print()
+    print(render_table1(rows))
+    names = [row.name for row in rows]
+    assert names == ["stencil", "iPiC3D", "TPC"]
+    structures = [row.data_structure for row in rows]
+    assert structures == [
+        "regular 2D grid",
+        "multiple regular 3D grids",
+        "kd-tree",
+    ]
+    metrics = [row.metric for row in rows]
+    assert metrics == [
+        "FLOPS",
+        "particle updates per second",
+        "queries per second",
+    ]
+    benchmark.extra_info["rows"] = [row.as_tuple() for row in rows]

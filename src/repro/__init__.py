@@ -1,0 +1,57 @@
+"""repro — a reproduction of "The AllScale Runtime Application Model".
+
+Jordan et al., *The AllScale Runtime Application Model*, IEEE CLUSTER 2018.
+
+The library provides, in Python:
+
+* :mod:`repro.model` — an executable formalization of the application
+  model (data items, regions, tasks/variants, architecture, the ten state
+  transition rules, traces, and checkable §2.5 properties);
+* :mod:`repro.regions` — the region algebras of §3.1 (box sets, interval
+  sets, flexible and blocked tree schemes) with full closure under
+  union/intersection/difference;
+* :mod:`repro.items` — data item implementations following the
+  façade/fragment/region pattern (grids, trees, kd-trees, scalars), each
+  in functional (value-carrying) and virtual (cost-only) mode;
+* :mod:`repro.sim` — a deterministic discrete-event cluster simulator
+  (nodes, cores, fat-tree network with NIC serialization) standing in for
+  the paper's 64-node testbed;
+* :mod:`repro.runtime` — the AllScale runtime system of §3.2: data item
+  manager, region lock tables, hierarchical distributed index
+  (Algorithm 1), data-aware scheduler (Algorithm 2), monitoring,
+  checkpoint/restart, and data-migration load balancing;
+* :mod:`repro.api` — the user-facing ``prec``/``pfor`` API with
+  compiler-style requirement derivation (§3.3);
+* :mod:`repro.mpi` — the simulated MPI substrate used by the reference
+  baselines;
+* :mod:`repro.apps` — the three evaluation applications (stencil, iPiC3D,
+  TPC) in AllScale and MPI ports;
+* :mod:`repro.bench` — regeneration of Table 1 and the Fig. 7 panels plus
+  ablation studies.
+
+Start with ``examples/quickstart.py`` or the README.
+"""
+
+__version__ = "1.0.0"
+
+from repro.runtime import AllScaleRuntime, RuntimeConfig, TaskSpec, Treeture
+from repro.sim import Cluster, ClusterSpec, meggie_like_spec
+from repro.items import Grid, BalancedTree, KDTreeItem, ScalarItem
+from repro.api import pfor, prec
+
+__all__ = [
+    "__version__",
+    "AllScaleRuntime",
+    "RuntimeConfig",
+    "TaskSpec",
+    "Treeture",
+    "Cluster",
+    "ClusterSpec",
+    "meggie_like_spec",
+    "Grid",
+    "BalancedTree",
+    "KDTreeItem",
+    "ScalarItem",
+    "pfor",
+    "prec",
+]

@@ -1,0 +1,38 @@
+"""User-facing parallel API (the AllScale API + compiler analog, paper §3.3).
+
+The AllScale source-to-source compiler turns high-level ``prec``/``pfor``
+calls into what the runtime needs: tasks with (a) a sequential and a
+parallel variant each and (b) a function computing data requirements per
+variant.  In Python no source transformation is needed — this package
+*constructs* those artifacts directly:
+
+``prec``
+    the context-aware recursive-parallelism primitive (ref. [10] of the
+    paper): a recursion scheme with a base-case test, a base implementation
+    and a parameter splitter, compiled into splittable
+    :class:`~repro.runtime.tasks.TaskSpec` trees;
+``pfor``
+    N-dimensional parallel loops over box ranges, built on ``prec`` exactly
+    as in the AllScale API, with per-sub-range requirement functions;
+``access``
+    requirement derivation helpers — the static-analysis analog that turns
+    stencil access offsets into read/write region functions.
+"""
+
+from repro.api.access import box_region, expand_box, shifted_union, stencil_requirements
+from repro.api.prec import PrecFunction, prec
+from repro.api.pfor import pfor, pfor_task
+from repro.api.patterns import preduce, pstencil
+
+__all__ = [
+    "box_region",
+    "expand_box",
+    "shifted_union",
+    "stencil_requirements",
+    "PrecFunction",
+    "prec",
+    "pfor",
+    "pfor_task",
+    "preduce",
+    "pstencil",
+]

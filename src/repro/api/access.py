@@ -1,0 +1,80 @@
+"""Data requirement derivation (the compiler's static analysis, §3.3).
+
+The AllScale compiler obtains data requirements "through high-level static
+program analysis".  For the regular access patterns of the evaluated
+applications that analysis reduces to interval arithmetic on access
+offsets: a kernel writing ``B[p]`` and reading ``A[p + o]`` for offsets
+``o`` needs, for an iteration sub-range ``R``, write region ``R`` and read
+region ``∪_o (R + o)``.  These helpers perform exactly that derivation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.items.grid import Grid
+from repro.regions.box import Box, BoxSetRegion
+
+
+def box_region(grid: Grid, box: Box) -> BoxSetRegion:
+    """Region for ``box`` clipped to the grid."""
+    return BoxSetRegion((box,)).intersect(grid.full_region)
+
+
+def expand_box(grid: Grid, box: Box, radius: int) -> BoxSetRegion:
+    """Region for ``box`` grown by ``radius`` on every side, clipped.
+
+    The read requirement of a radius-``radius`` stencil over iteration
+    range ``box``.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    grown = Box(
+        tuple(l - radius for l in box.lo),
+        tuple(h + radius for h in box.hi),
+    )
+    return box_region(grid, grown)
+
+
+def shifted_union(
+    grid: Grid, box: Box, offsets: Iterable[Sequence[int]]
+) -> BoxSetRegion:
+    """Region ``∪_o (box + o)`` clipped to the grid.
+
+    The exact read set of a kernel whose accesses are ``A[p + o]`` for
+    ``o ∈ offsets`` over the iteration range ``box``.
+    """
+    region = BoxSetRegion.empty(grid.dims)
+    for offset in offsets:
+        if len(offset) != grid.dims:
+            raise ValueError(
+                f"offset {offset!r} has wrong rank for {grid.dims}-D grid"
+            )
+        shifted = Box(
+            tuple(l + o for l, o in zip(box.lo, offset)),
+            tuple(h + o for h, o in zip(box.hi, offset)),
+        )
+        region = region.union(box_region(grid, shifted))
+    return region
+
+
+def stencil_requirements(
+    read_grid: Grid,
+    write_grid: Grid,
+    offsets: Iterable[Sequence[int]],
+):
+    """Requirement functions for a gather stencil ``B[p] = f(A[p + o]...)``.
+
+    Returns ``(reads_fn, writes_fn)`` mapping an iteration sub-range box to
+    the requirement dictionaries the runtime consumes — the artifact the
+    AllScale compiler attaches to every generated task variant.
+    """
+    offsets = [tuple(o) for o in offsets]
+
+    def reads_fn(box: Box) -> dict:
+        return {read_grid: shifted_union(read_grid, box, offsets)}
+
+    def writes_fn(box: Box) -> dict:
+        return {write_grid: box_region(write_grid, box)}
+
+    return reads_fn, writes_fn

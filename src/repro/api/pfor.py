@@ -1,0 +1,114 @@
+"""``pfor`` — N-dimensional parallel loops over box ranges.
+
+The workhorse of the paper's example codes (Fig. 6b): iterate a kernel
+over every point of an N-dimensional range, in parallel, with data
+requirements derived per sub-range.  Implemented on top of :func:`prec`
+(just like the AllScale API implements its ``pfor`` with the ``prec``
+operator): the recursion parameter is the iteration :class:`Box`, split by
+bisecting the widest axis, and requirement functions are evaluated on each
+sub-box.
+
+Two kernel styles are supported:
+
+* ``body(ctx, box)`` — bulk kernel over the whole sub-range; the natural
+  fit for vectorized NumPy kernels (and the only style that scales);
+* ``point_kernel(ctx, coord)`` — per-point kernel, convenient in examples
+  and tests; wrapped into a loop over the sub-range.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.api.prec import PrecFunction, default_granularity
+from repro.items.base import DataItem
+from repro.regions.base import Region
+from repro.regions.box import Box
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskExecutionContext, TaskSpec, Treeture
+from repro.util.ids import fresh_id
+
+RequirementFn = Callable[[Box], dict[DataItem, Region]]
+
+
+def _split_box(box: Box) -> list[Box]:
+    widths = box.widths()
+    axis = max(range(len(widths)), key=widths.__getitem__)
+    at = box.lo[axis] + widths[axis] // 2
+    left, right = box.split(axis, at)
+    return [b for b in (left, right) if not b.is_empty()]
+
+
+def pfor_task(
+    lo: Sequence[int],
+    hi: Sequence[int],
+    *,
+    body: Callable[[TaskExecutionContext, Box], Any] | None = None,
+    point_kernel: Callable[[TaskExecutionContext, tuple[int, ...]], None]
+    | None = None,
+    reads: RequirementFn | None = None,
+    writes: RequirementFn | None = None,
+    flops_per_element: float = 1.0,
+    combiner: Callable[[list[Any]], Any] | None = None,
+    granularity: float | None = None,
+    name: str | None = None,
+    body_in_virtual: bool = False,
+    gpu_flops_per_element: float | None = None,
+) -> TaskSpec:
+    """Build the splittable task tree for a parallel loop (no submission)."""
+    if (body is None) == (point_kernel is None):
+        if body is None:
+            raise ValueError("pfor needs exactly one of body/point_kernel")
+        raise ValueError("pass either body or point_kernel, not both")
+    root = Box.of(lo, hi)
+    if root.is_empty():
+        raise ValueError(f"empty pfor range {lo!r}..{hi!r}")
+    task_name = name or fresh_id("pfor")
+
+    if point_kernel is not None:
+        def bulk_body(ctx: TaskExecutionContext, box: Box) -> Any:
+            for coord in box.points():
+                point_kernel(ctx, coord)
+            return None
+
+        body = bulk_body
+
+    recursion = PrecFunction(
+        base_test=lambda box: box.size() <= max(1.0, granularity or 1.0),
+        base=body,
+        split=_split_box,
+        combine=combiner,
+        reads=reads,
+        writes=writes,
+        cost=lambda box: flops_per_element * box.size(),
+        size=lambda box: float(box.size()),
+        name=task_name,
+        body_in_virtual=body_in_virtual,
+        gpu_cost=(
+            (lambda box: gpu_flops_per_element * box.size())
+            if gpu_flops_per_element is not None
+            else None
+        ),
+    )
+    return recursion.task(root, granularity)
+
+
+def pfor(
+    runtime: AllScaleRuntime,
+    lo: Sequence[int],
+    hi: Sequence[int],
+    *,
+    origin: int = 0,
+    granularity: float | None = None,
+    **kwargs: Any,
+) -> Treeture:
+    """Schedule a parallel loop over ``[lo, hi)``; returns its treeture.
+
+    ``yield treeture.future`` (from a simulation process) or
+    ``runtime.wait(treeture)`` (from test code) acts as the loop barrier.
+    """
+    root = Box.of(lo, hi)
+    if granularity is None:
+        granularity = default_granularity(runtime, float(root.size()))
+    task = pfor_task(lo, hi, granularity=granularity, **kwargs)
+    return runtime.submit(task, origin=origin)

@@ -1,0 +1,35 @@
+"""The paper's three evaluation applications (§4.1, Table 1).
+
+=========  ==============================  ====================  ==========================
+name       description                     data structure        performance metric
+=========  ==============================  ====================  ==========================
+stencil    2-D stencil kernel (PRK)        regular 2-D grid      FLOPS
+iPiC3D     particle-in-cell simulator      multiple 3-D grids    particle updates / second
+TPC        two-point-correlation search    kd-tree               queries / second
+=========  ==============================  ====================  ==========================
+
+Each module provides the AllScale port (driving the full runtime:
+pfor/prec tasks, data item manager, index, scheduler) and the MPI
+reference port (SPMD over the simulated communicator), both parameterized
+by a workload dataclass.  Functional (really-computing) configurations are
+used in tests at small scale; the paper-scale benchmark sweeps run in
+virtual mode with identical control paths.
+"""
+
+from repro.apps.common import AppResult
+from repro.apps.stencil import StencilWorkload, stencil_allscale, stencil_mpi
+from repro.apps.ipic3d import IPic3DWorkload, ipic3d_allscale, ipic3d_mpi
+from repro.apps.tpc import TPCWorkload, tpc_allscale, tpc_mpi
+
+__all__ = [
+    "AppResult",
+    "StencilWorkload",
+    "stencil_allscale",
+    "stencil_mpi",
+    "IPic3DWorkload",
+    "ipic3d_allscale",
+    "ipic3d_mpi",
+    "TPCWorkload",
+    "tpc_allscale",
+    "tpc_mpi",
+]

@@ -1,0 +1,36 @@
+"""Shared application-result plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run on one cluster configuration."""
+
+    app: str
+    system: str  # "allscale" | "mpi"
+    nodes: int
+    #: simulated seconds of the measured phase (initialization excluded)
+    elapsed: float
+    #: total metric units completed in the measured phase
+    #: (FLOPs, particle updates, or queries)
+    work: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Metric units per second — the quantity Fig. 7 plots."""
+        if self.elapsed <= 0:
+            raise ValueError(
+                f"{self.app}/{self.system}@{self.nodes}: non-positive elapsed "
+                f"time {self.elapsed!r}"
+            )
+        return self.work / self.elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"AppResult({self.app}/{self.system}, nodes={self.nodes}, "
+            f"throughput={self.throughput:.4g}/s)"
+        )

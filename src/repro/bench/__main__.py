@@ -1,0 +1,83 @@
+"""Command-line regeneration of the paper's evaluation artifacts.
+
+Usage::
+
+    python -m repro.bench table1
+    python -m repro.bench stencil ipic3d tpc          # Fig. 7 panels
+    python -m repro.bench all --quick --out results/  # CSV per panel
+
+Each panel prints the regenerated table; with ``--out`` the raw numbers
+are additionally written as CSV files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.figures import fig7_ipic3d, fig7_stencil, fig7_tpc
+from repro.bench.report import render_series, render_table1, series_to_csv
+from repro.bench.tables import table1
+
+PANELS = {
+    "stencil": fig7_stencil,
+    "ipic3d": fig7_ipic3d,
+    "tpc": fig7_tpc,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        choices=["table1", *PANELS, "all"],
+        help="which artifact(s) to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sweeps (1/4/16 nodes, reduced workloads)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write CSV files into",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = set(args.artifacts)
+    if "all" in wanted:
+        wanted = {"table1", *PANELS}
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    if "table1" in wanted:
+        print(render_table1(table1()))
+        print()
+
+    for name, build in PANELS.items():
+        if name not in wanted:
+            continue
+        started = time.perf_counter()
+        series = build(quick=args.quick)
+        elapsed = time.perf_counter() - started
+        print(render_series(series))
+        print(f"(regenerated in {elapsed:.1f}s wall time)")
+        print()
+        if args.out is not None:
+            path = args.out / f"fig7_{name}.csv"
+            path.write_text(series_to_csv(series))
+            print(f"wrote {path}")
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

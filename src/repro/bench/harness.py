@@ -1,0 +1,82 @@
+"""Generic scaling-sweep machinery and shape metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps.common import AppResult
+
+#: the node counts of the paper's Fig. 7 x-axis
+FIG7_NODE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class ScalingPoint:
+    """One x-position of a Fig. 7 panel."""
+
+    nodes: int
+    allscale: float
+    mpi: float
+
+    @property
+    def ratio(self) -> float:
+        """AllScale throughput as a fraction of MPI's."""
+        return self.allscale / self.mpi if self.mpi else float("nan")
+
+
+@dataclass
+class ScalingSeries:
+    """One full panel: throughput vs node count for both systems."""
+
+    app: str
+    metric: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def add(self, allscale: AppResult, mpi: AppResult) -> None:
+        if allscale.nodes != mpi.nodes:
+            raise ValueError("mismatched node counts in a scaling point")
+        self.points.append(
+            ScalingPoint(allscale.nodes, allscale.throughput, mpi.throughput)
+        )
+
+    def node_counts(self) -> list[int]:
+        return [p.nodes for p in self.points]
+
+    def linear(self, system: str = "allscale") -> list[float]:
+        """The ideal-scaling reference line anchored at the first point."""
+        if not self.points:
+            return []
+        base = getattr(self.points[0], system) / self.points[0].nodes
+        return [base * p.nodes for p in self.points]
+
+    def point_at(self, nodes: int) -> ScalingPoint:
+        for p in self.points:
+            if p.nodes == nodes:
+                return p
+        raise KeyError(f"no point at {nodes} nodes")
+
+    def speedup(self, system: str) -> list[float]:
+        base = getattr(self.points[0], system)
+        return [getattr(p, system) / base * self.points[0].nodes for p in self.points]
+
+
+def parallel_efficiency(series: ScalingSeries, system: str) -> float:
+    """Efficiency at the largest node count vs the single-node anchor."""
+    first, last = series.points[0], series.points[-1]
+    base = getattr(first, system) / first.nodes
+    return getattr(last, system) / (base * last.nodes)
+
+
+def sweep(
+    app: str,
+    metric: str,
+    node_counts: tuple[int, ...],
+    run_allscale: Callable[[int], AppResult],
+    run_mpi: Callable[[int], AppResult],
+) -> ScalingSeries:
+    """Run both systems across the node counts and collect a series."""
+    series = ScalingSeries(app=app, metric=metric)
+    for nodes in node_counts:
+        series.add(run_allscale(nodes), run_mpi(nodes))
+    return series

@@ -1,0 +1,120 @@
+"""Façade/fragment interface shared by all data item implementations.
+
+The runtime's data item manager (paper §3.2) manipulates fragments through
+exactly this interface: grow or shrink a fragment (``resize``), cut data
+out for an outgoing transfer (``extract``), and splice received data in
+(``insert``).  The façade classes are what application code holds; they
+double as factories for fragments and for model-level declarations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.model.elements import DataItemDecl
+from repro.regions.base import Region
+from repro.util.ids import fresh_id
+
+
+@dataclass
+class FragmentPayload:
+    """Serialized slice of a fragment, in flight between address spaces.
+
+    ``data`` is ``None`` for virtual fragments — the byte count still
+    reflects what the wire would carry, so the network cost model is
+    unaffected by the mode.
+    """
+
+    region: Region
+    nbytes: int
+    data: Any = None
+
+
+class DataItem(ABC):
+    """Façade base: identity, element universe, fragment factory."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name if name is not None else fresh_id("item")
+
+    @property
+    @abstractmethod
+    def full_region(self) -> Region:
+        """Region covering ``elems(d)``."""
+
+    @property
+    @abstractmethod
+    def bytes_per_element(self) -> int:
+        """Wire/storage size of one element — drives the network cost model."""
+
+    @abstractmethod
+    def new_fragment(self, region: Region, functional: bool = True) -> "Fragment":
+        """Create a fragment holding ``region`` in some address space."""
+
+    def empty_region(self) -> Region:
+        return self.full_region.difference(self.full_region)
+
+    def decompose(self, parts: int) -> list[Region]:
+        """Split ``elems(d)`` into ``parts`` near-equal regions.
+
+        Used by the scheduling policy as the even-spreading hint during the
+        initialization phase (paper §3.2); concrete items override with a
+        structure-aware decomposition.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a decomposition"
+        )
+
+    def declaration(self) -> DataItemDecl:
+        """Model-level declaration (Def. 2.1) for this façade."""
+        return DataItemDecl(self.full_region, name=self.name)
+
+    def region_bytes(self, region: Region) -> int:
+        """Bytes needed to hold/transfer ``region`` of this item."""
+        return region.size() * self.bytes_per_element
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Fragment(ABC):
+    """Runtime-side storage for a region of a data item in one address space."""
+
+    def __init__(self, item: DataItem, region: Region, functional: bool) -> None:
+        self.item = item
+        self._region = item.full_region.intersect(region)
+        self.functional = functional
+
+    @property
+    def region(self) -> Region:
+        """The region of elements this fragment currently maintains."""
+        return self._region
+
+    @property
+    def nbytes(self) -> int:
+        return self.item.region_bytes(self._region)
+
+    # -- the three manager operations (resizing, import, export; §3.2) ------
+
+    @abstractmethod
+    def resize(self, new_region: Region) -> None:
+        """Grow/shrink to ``new_region``; retained elements keep their values."""
+
+    @abstractmethod
+    def extract(self, region: Region) -> FragmentPayload:
+        """Serialize ``region ∩ self.region`` for an outgoing transfer."""
+
+    @abstractmethod
+    def insert(self, payload: FragmentPayload) -> None:
+        """Splice a received payload in; grows the fragment's region."""
+
+    def covers(self, region: Region) -> bool:
+        return self._region.covers(region)
+
+    def __repr__(self) -> str:
+        mode = "functional" if self.functional else "virtual"
+        return (
+            f"{type(self).__name__}({self.item.name!r}, "
+            f"|region|={self._region.size()}, {mode})"
+        )

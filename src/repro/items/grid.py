@@ -1,0 +1,236 @@
+"""N-dimensional grid data item with box-set regions (Fig. 4a).
+
+The façade mirrors the ``Grid<T, D>`` type of the AllScale API used in the
+paper's stencil example (Fig. 6b): element access by coordinate, rectangular
+sub-views for bulk kernels.  Fragments store one NumPy array per disjoint
+box of their region; ``gather``/``scatter`` assemble and distribute
+rectangular windows that may span several stored boxes, which is what the
+stencil's halo reads need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.items.base import DataItem, Fragment, FragmentPayload
+from repro.regions.base import Region
+from repro.regions.box import Box, BoxSetRegion
+
+
+class Grid(DataItem):
+    """Dense N-dimensional grid of fixed shape."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dtype: np.dtype | type = np.float64,
+        name: str | None = None,
+        element_bytes: int | None = None,
+    ) -> None:
+        """``element_bytes`` overrides the wire/storage weight of one element
+        (multi-component cells, particle populations, ...); functional
+        storage still uses ``dtype``."""
+        super().__init__(name)
+        self.shape = tuple(int(s) for s in shape)
+        if not self.shape or any(s < 1 for s in self.shape):
+            raise ValueError(f"invalid grid shape {self.shape}")
+        self.dtype = np.dtype(dtype)
+        if element_bytes is not None and element_bytes < 1:
+            raise ValueError(f"element_bytes must be >= 1, got {element_bytes}")
+        self._element_bytes = element_bytes
+        self._full = BoxSetRegion.full_grid(self.shape)
+
+    @property
+    def dims(self) -> int:
+        return len(self.shape)
+
+    @property
+    def full_region(self) -> BoxSetRegion:
+        return self._full
+
+    @property
+    def bytes_per_element(self) -> int:
+        if self._element_bytes is not None:
+            return self._element_bytes
+        return self.dtype.itemsize
+
+    def box(self, lo: Sequence[int], hi: Sequence[int]) -> BoxSetRegion:
+        """Region for the box ``[lo, hi)``, clamped to the grid."""
+        return BoxSetRegion.single(lo, hi).intersect(self._full)
+
+    def decompose(self, parts: int) -> list[BoxSetRegion]:
+        """Recursive-bisection block decomposition into ``parts`` regions."""
+        from repro.regions.box import grid_block_decomposition
+
+        return [
+            BoxSetRegion((box,))
+            for box in grid_block_decomposition(self.shape, parts)
+        ]
+
+    def new_fragment(
+        self, region: Region, functional: bool = True
+    ) -> "GridFragment":
+        return GridFragment(self, region, functional)
+
+
+class GridFragment(Fragment):
+    """Region of a grid materialized in one address space."""
+
+    def __init__(self, item: Grid, region: Region, functional: bool) -> None:
+        if not isinstance(region, BoxSetRegion):
+            raise TypeError(
+                f"Grid fragments need BoxSetRegion, got {type(region).__name__}"
+            )
+        super().__init__(item, region, functional)
+        self.grid: Grid = item
+        self._arrays: dict[Box, np.ndarray] = {}
+        if functional:
+            for box in self.region.boxes:  # type: ignore[attr-defined]
+                self._arrays[box] = np.zeros(box.widths(), dtype=item.dtype)
+
+    # -- element access ----------------------------------------------------------
+
+    def _locate(self, coord: tuple[int, ...]) -> tuple[Box, tuple[int, ...]]:
+        for box, _ in self._arrays.items():
+            if box.contains(coord):
+                offset = tuple(c - l for c, l in zip(coord, box.lo))
+                return box, offset
+        raise KeyError(f"coordinate {coord} not held by this fragment")
+
+    def get(self, coord: Sequence[int]):
+        self._need_functional()
+        box, offset = self._locate(tuple(coord))
+        return self._arrays[box][offset]
+
+    def set(self, coord: Sequence[int], value) -> None:
+        self._need_functional()
+        box, offset = self._locate(tuple(coord))
+        self._arrays[box][offset] = value
+
+    # -- bulk window access --------------------------------------------------------
+
+    def gather(self, window: Box) -> np.ndarray:
+        """Copy the rectangular ``window`` out as one contiguous array.
+
+        The window must be fully covered by the fragment's region; it may
+        span several stored boxes.
+        """
+        self._need_functional()
+        target = BoxSetRegion((window,))
+        if not self.region.covers(target):
+            raise KeyError(f"window {window} not covered by fragment region")
+        out = np.empty(window.widths(), dtype=self.grid.dtype)
+        for box, array in self._arrays.items():
+            cut = box.intersect(window)
+            if cut.is_empty():
+                continue
+            src = tuple(
+                slice(cl - bl, ch - bl)
+                for cl, ch, bl in zip(cut.lo, cut.hi, box.lo)
+            )
+            dst = tuple(
+                slice(cl - wl, ch - wl)
+                for cl, ch, wl in zip(cut.lo, cut.hi, window.lo)
+            )
+            out[dst] = array[src]
+        return out
+
+    def scatter(self, window: Box, values: np.ndarray) -> None:
+        """Write a contiguous array back into the stored boxes.
+
+        Only the parts of ``window`` the fragment actually holds are
+        written; out-of-fragment parts are ignored (callers subtract halos
+        themselves when that matters).
+        """
+        self._need_functional()
+        values = np.asarray(values, dtype=self.grid.dtype)
+        if values.shape != window.widths():
+            raise ValueError(
+                f"array shape {values.shape} does not match window "
+                f"{window.widths()}"
+            )
+        for box, array in self._arrays.items():
+            cut = box.intersect(window)
+            if cut.is_empty():
+                continue
+            src = tuple(
+                slice(cl - wl, ch - wl)
+                for cl, ch, wl in zip(cut.lo, cut.hi, window.lo)
+            )
+            dst = tuple(
+                slice(cl - bl, ch - bl)
+                for cl, ch, bl in zip(cut.lo, cut.hi, box.lo)
+            )
+            array[dst] = values[src]
+
+    def fill(self, fn) -> None:
+        """Set every held element to ``fn(coord)`` (initialization helper)."""
+        self._need_functional()
+        for box, array in self._arrays.items():
+            it = np.nditer(array, flags=["multi_index"], op_flags=["writeonly"])
+            for cell in it:
+                coord = tuple(l + o for l, o in zip(box.lo, it.multi_index))
+                cell[...] = fn(coord)
+
+    # -- manager operations -----------------------------------------------------------
+
+    def resize(self, new_region: Region) -> None:
+        new_region = self.item.full_region.intersect(new_region)
+        if not isinstance(new_region, BoxSetRegion):  # pragma: no cover
+            raise TypeError("resize needs a BoxSetRegion")
+        if self.functional:
+            old_arrays = self._arrays
+            self._arrays = {}
+            for box in new_region.boxes:
+                array = np.zeros(box.widths(), dtype=self.grid.dtype)
+                self._arrays[box] = array
+            # copy retained data from the old storage
+            for old_box, old_array in old_arrays.items():
+                for new_box, new_array in self._arrays.items():
+                    cut = old_box.intersect(new_box)
+                    if cut.is_empty():
+                        continue
+                    src = tuple(
+                        slice(cl - ol, ch - ol)
+                        for cl, ch, ol in zip(cut.lo, cut.hi, old_box.lo)
+                    )
+                    dst = tuple(
+                        slice(cl - nl, ch - nl)
+                        for cl, ch, nl in zip(cut.lo, cut.hi, new_box.lo)
+                    )
+                    new_array[dst] = old_array[src]
+        self._region = new_region
+
+    def extract(self, region: Region) -> FragmentPayload:
+        part = self.region.intersect(region)
+        data = None
+        if self.functional:
+            data = [
+                (box, self.gather(box)) for box in part.boxes  # type: ignore[attr-defined]
+            ]
+        return FragmentPayload(
+            region=part, nbytes=self.item.region_bytes(part), data=data
+        )
+
+    def insert(self, payload: FragmentPayload) -> None:
+        incoming = self.item.full_region.intersect(payload.region)
+        grown = self.region.union(incoming)
+        self.resize(grown)
+        if self.functional:
+            if payload.data is None:
+                raise ValueError(
+                    "functional fragment received a virtual payload"
+                )
+            for box, array in payload.data:
+                self.scatter(box, array)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _need_functional(self) -> None:
+        if not self.functional:
+            raise RuntimeError(
+                "virtual fragments carry no values; build the item in "
+                "functional mode for data access"
+            )

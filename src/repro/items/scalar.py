@@ -1,0 +1,80 @@
+"""Scalar data item — a single addressable element.
+
+The smallest data structure expressible in the model (the paper notes the
+interface covers "simple scalars" up to meshes).  Useful for global
+reduction results and as the simplest fixture in tests.  The element
+universe is the one-element interval ``[0, 1)``.
+"""
+
+from __future__ import annotations
+
+from repro.items.base import DataItem, Fragment, FragmentPayload
+from repro.regions.base import Region
+from repro.regions.interval import IntervalRegion
+
+
+class ScalarItem(DataItem):
+    """A data item holding exactly one value."""
+
+    def __init__(self, nbytes: int = 8, name: str | None = None) -> None:
+        super().__init__(name)
+        if nbytes < 1:
+            raise ValueError(f"nbytes must be >= 1, got {nbytes}")
+        self._nbytes = nbytes
+        self._full = IntervalRegion.span(0, 1)
+
+    @property
+    def full_region(self) -> IntervalRegion:
+        return self._full
+
+    @property
+    def bytes_per_element(self) -> int:
+        return self._nbytes
+
+    def new_fragment(
+        self, region: Region, functional: bool = True
+    ) -> "ScalarFragment":
+        return ScalarFragment(self, region, functional)
+
+
+class ScalarFragment(Fragment):
+    """Holds the scalar's value (or nothing, when its region is empty)."""
+
+    def __init__(self, item: ScalarItem, region: Region, functional: bool) -> None:
+        super().__init__(item, region, functional)
+        self.value = None
+
+    def get(self):
+        if not self.functional:
+            raise RuntimeError("virtual fragments carry no values")
+        if self.region.is_empty():
+            raise KeyError("fragment does not hold the scalar")
+        return self.value
+
+    def set(self, value) -> None:
+        if not self.functional:
+            raise RuntimeError("virtual fragments carry no values")
+        if self.region.is_empty():
+            raise KeyError("fragment does not hold the scalar")
+        self.value = value
+
+    def resize(self, new_region: Region) -> None:
+        new_region = self.item.full_region.intersect(new_region)
+        if new_region.is_empty():
+            self.value = None
+        self._region = new_region
+
+    def extract(self, region: Region) -> FragmentPayload:
+        part = self.region.intersect(region)
+        data = self.value if (self.functional and not part.is_empty()) else None
+        return FragmentPayload(
+            region=part, nbytes=self.item.region_bytes(part), data=data
+        )
+
+    def insert(self, payload: FragmentPayload) -> None:
+        incoming = self.item.full_region.intersect(payload.region)
+        if incoming.is_empty():
+            return
+        self._region = self.region.union(incoming)
+        if self.functional:
+            self.value = payload.data

@@ -1,0 +1,68 @@
+"""Executable formalization of the AllScale application model (paper §2).
+
+This package is the *specification level* of the library: a direct,
+executable transcription of Definitions 2.1–2.11 and the transition rules of
+Figs. 2 and 3.  It is deliberately unconcerned with performance — system
+states are explicit, transitions are enumerable, and executions are
+nondeterministic — so that the five model properties of §2.5 can be checked
+mechanically (see :mod:`repro.model.properties` and the property-based test
+suite).
+
+The *implementation level* — the actual runtime system of paper §3 — lives
+in :mod:`repro.runtime` and is constrained by the same rules.
+
+Contents
+--------
+``elements``      data items and their element universes (Def. 2.1–2.2)
+``actions``       the action algebra ``spawn/sync/create/destroy/end`` (Def. 2.5)
+``task``          tasks, variants, programs (Def. 2.3–2.4, 2.7)
+``execution``     task-local execution states and the ``step`` function (Def. 2.6)
+``architecture``  the bipartite compute/memory graph (Def. 2.8)
+``state``         the 7-tuple system state (Def. 2.9)
+``transitions``   the ten inference rules (Def. 2.10, Figs. 2–3)
+``interpreter``   nondeterministic small-step executor producing traces (Def. 2.11)
+``properties``    checkable forms of the §2.5 model properties
+"""
+
+from repro.model.elements import DataItemDecl
+from repro.model.actions import Action, Spawn, Sync, Create, Destroy, End
+from repro.model.task import Task, Variant, Program, AccessSpec
+from repro.model.architecture import ArchitectureModel, ComputeUnit, MemorySpace
+from repro.model.state import SystemState
+from repro.model.interpreter import Interpreter, InterpreterConfig, Trace
+from repro.model.values import VersionTracker, CoherenceViolation
+from repro.model.properties import (
+    check_exclusive_writes,
+    check_satisfied_requirements,
+    check_data_preservation,
+    check_single_execution,
+    check_terminal,
+)
+
+__all__ = [
+    "DataItemDecl",
+    "Action",
+    "Spawn",
+    "Sync",
+    "Create",
+    "Destroy",
+    "End",
+    "Task",
+    "Variant",
+    "Program",
+    "AccessSpec",
+    "ArchitectureModel",
+    "ComputeUnit",
+    "MemorySpace",
+    "SystemState",
+    "Interpreter",
+    "InterpreterConfig",
+    "Trace",
+    "VersionTracker",
+    "CoherenceViolation",
+    "check_exclusive_writes",
+    "check_satisfied_requirements",
+    "check_data_preservation",
+    "check_single_execution",
+    "check_terminal",
+]

@@ -1,0 +1,55 @@
+"""The action algebra (Definition 2.5).
+
+``A = { spawn(t), sync(t), create(d), destroy(d), end }`` for tasks
+``t ∈ T \\ P`` and data items ``d ∈ D``.  Actions are the service requests a
+running task variant issues toward the runtime system; the task-related and
+data-related transition rules of Figs. 2–3 consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.model.elements import DataItemDecl
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.model.task import Task
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """Request the runtime to schedule a new task (rule *spawn*)."""
+
+    task: "Task"
+
+
+@dataclass(frozen=True)
+class Sync:
+    """Suspend the issuing variant until ``task`` completes (rule *sync*)."""
+
+    task: "Task"
+
+
+@dataclass(frozen=True)
+class Create:
+    """Introduce a new data item to the runtime system (rule *create*)."""
+
+    item: DataItemDecl
+
+
+@dataclass(frozen=True)
+class Destroy:
+    """Request destruction of a data item (rule *destroy*)."""
+
+    item: DataItemDecl
+
+
+@dataclass(frozen=True)
+class End:
+    """Signal termination of the issuing variant (rule *end*)."""
+
+
+Action = Union[Spawn, Sync, Create, Destroy, End]
+
+END = End()

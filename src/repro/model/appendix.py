@@ -1,0 +1,118 @@
+"""Appendix A auxiliary definitions, as executable utilities.
+
+The paper's appendix introduces notation used by the property proofs:
+state-component accessors (Definition A.1), transition-relation utilities
+(Definition A.2), and trace utilities (Definition A.3).  The library's own
+classes already expose most of this; this module provides the appendix's
+exact vocabulary on top, so the proof sketches can be followed — and
+tested — line by line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.architecture import ArchitectureModel
+from repro.model.interpreter import PROGRESS_KINDS, Trace
+from repro.model.state import SystemState, initial_state
+from repro.model.task import Program, Task, Variant
+
+
+# -- Definition A.1: state component accessors --------------------------------------
+
+
+def q(state: SystemState) -> set[Task]:
+    """Enqueued tasks ``Q``."""
+    return set(state.queued)
+
+
+def r(state: SystemState) -> set[tuple]:
+    """Running entries ``R`` as ``(c, v, s)`` tuples."""
+    return {(e.unit, e.variant, e.execution) for e in state.running}
+
+
+def b(state: SystemState) -> set[tuple]:
+    """Blocked entries ``B`` as ``(c, v, s, t)`` tuples."""
+    return {
+        (e.unit, e.variant, e.execution, e.waiting_on) for e in state.blocked
+    }
+
+
+def v(state: SystemState) -> set[Variant]:
+    """Variants currently running or blocked (Def. A.1's ``v(s)``)."""
+    out = {e.variant for e in state.running}
+    out |= {e.variant for e in state.blocked}
+    return out
+
+
+def d(state: SystemState) -> dict:
+    """The data distribution ``D`` as ``{(m, d): region}``."""
+    return dict(state.distribution)
+
+
+def lr(state: SystemState) -> dict:
+    """Read locks ``Lr`` as ``{(v, m, d): region}``."""
+    return dict(state.read_locks)
+
+
+def lw(state: SystemState) -> dict:
+    """Write locks ``Lw`` as ``{(v, m, d): region}``."""
+    return dict(state.write_locks)
+
+
+def l(state: SystemState) -> dict:
+    """``l(s) = lw(s) ∪ lr(s)`` — all locks, unioned per key."""
+    combined = dict(state.read_locks)
+    for key, region in state.write_locks.items():
+        if key in combined:
+            combined[key] = combined[key].union(region)
+        else:
+            combined[key] = region
+    return combined
+
+
+# -- Definition A.3: trace utilities ---------------------------------------------------
+
+
+def start(program: Program, architecture: ArchitectureModel) -> SystemState:
+    """``start(t) = ({t0}, ∅, ∅, ∅, ∅, ∅, (C ⊎ M, L))``."""
+    return initial_state(architecture, program.entry)
+
+
+def is_terminal(state: SystemState) -> bool:
+    """Membership in ``F``, the set of terminal states."""
+    return state.is_terminal()
+
+
+def p_steps(trace: Trace) -> int:
+    """``p_steps`` — the number of ``→p`` transitions in a trace."""
+    return trace.progress_steps()
+
+
+def is_full_trace(trace: Trace) -> bool:
+    """A *full* trace is terminated (finite traces ending in ``F``).
+
+    Infinite traces cannot be materialized; a deadlocked or step-bounded
+    run is neither terminated nor full.
+    """
+    return trace.terminated
+
+
+def progress_kinds() -> frozenset[str]:
+    """The rule names constituting ``→p`` (Definition A.2)."""
+    return PROGRESS_KINDS
+
+
+def reachable_task_names(trace: Trace) -> set[str]:
+    """Names of tasks this trace enqueued — a witness subset of ``T_p``.
+
+    Definition A.5's reachable set quantifies over *all* executions; any
+    single trace provides a lower bound, which is what the finiteness
+    arguments of Lemma A.1 are checked against in the tests.
+    """
+    names: set[str] = set()
+    for event in trace.events:
+        if event.kind == "spawn":
+            # details read "<spawning variant>-><spawned task>"
+            names.add(event.detail.rsplit("->", 1)[-1])
+    return names

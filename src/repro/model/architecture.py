@@ -1,0 +1,152 @@
+"""The architecture model (Definition 2.8, Example 2.4).
+
+The hardware abstraction is the bipartite graph ``(C ⊎ M, L)`` of compute
+units, memory address spaces, and access links.  The model intentionally
+omits network topology and cache hierarchy — those are implementation-level
+concerns handled by :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ComputeUnit:
+    """A compute unit ``c ∈ C`` (CPU core, GPU, ...)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"ComputeUnit({self.name!r})"
+
+
+@dataclass(frozen=True)
+class MemorySpace:
+    """A memory address space ``m ∈ M`` (node main memory, device memory, ...)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"MemorySpace({self.name!r})"
+
+
+class ArchitectureModel:
+    """Bipartite graph ``(C ⊎ M, L)`` with ``L ⊆ C × M``."""
+
+    __slots__ = ("compute_units", "memories", "links", "_mem_of", "_units_of")
+
+    def __init__(
+        self,
+        compute_units: Iterable[ComputeUnit],
+        memories: Iterable[MemorySpace],
+        links: Iterable[tuple[ComputeUnit, MemorySpace]],
+    ) -> None:
+        self.compute_units = frozenset(compute_units)
+        self.memories = frozenset(memories)
+        self.links = frozenset(links)
+        for c, m in self.links:
+            if c not in self.compute_units:
+                raise ValueError(f"link references unknown compute unit {c!r}")
+            if m not in self.memories:
+                raise ValueError(f"link references unknown memory {m!r}")
+        self._mem_of: dict[ComputeUnit, frozenset[MemorySpace]] = {}
+        self._units_of: dict[MemorySpace, frozenset[ComputeUnit]] = {}
+        for c in self.compute_units:
+            self._mem_of[c] = frozenset(m for cc, m in self.links if cc == c)
+        for m in self.memories:
+            self._units_of[m] = frozenset(c for c, mm in self.links if mm == m)
+
+    def accessible_memories(self, unit: ComputeUnit) -> frozenset[MemorySpace]:
+        """Memories ``m`` with ``(c, m) ∈ L``."""
+        return self._mem_of[unit]
+
+    def units_with_access(self, memory: MemorySpace) -> frozenset[ComputeUnit]:
+        """Compute units ``c`` with ``(c, m) ∈ L``."""
+        return self._units_of[memory]
+
+    def can_access(self, unit: ComputeUnit, memory: MemorySpace) -> bool:
+        return (unit, memory) in self.links
+
+    def to_networkx(self):
+        """Export the bipartite graph for analysis/visualization."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.compute_units, bipartite="compute")
+        graph.add_nodes_from(self.memories, bipartite="memory")
+        graph.add_edges_from(self.links)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchitectureModel(|C|={len(self.compute_units)}, "
+            f"|M|={len(self.memories)}, |L|={len(self.links)})"
+        )
+
+
+def distributed_cluster(
+    nodes: int, cores_per_node: int = 1
+) -> ArchitectureModel:
+    """Build the architecture of Example 2.4.
+
+    Each node forms its own address space; its cores link only to it.
+
+    >>> arch = distributed_cluster(2, 4)
+    >>> len(arch.compute_units), len(arch.memories), len(arch.links)
+    (8, 2, 8)
+    """
+    if nodes < 1 or cores_per_node < 1:
+        raise ValueError("nodes and cores_per_node must be positive")
+    units: list[ComputeUnit] = []
+    memories: list[MemorySpace] = []
+    links: list[tuple[ComputeUnit, MemorySpace]] = []
+    for n in range(nodes):
+        memory = MemorySpace(f"m{n}")
+        memories.append(memory)
+        for k in range(cores_per_node):
+            unit = ComputeUnit(f"c{n}.{k}")
+            units.append(unit)
+            links.append((unit, memory))
+    return ArchitectureModel(units, memories, links)
+
+
+def shared_memory_system(cores: int) -> ArchitectureModel:
+    """Single address space with ``cores`` compute units linked to it."""
+    memory = MemorySpace("m0")
+    units = [ComputeUnit(f"c{k}") for k in range(cores)]
+    return ArchitectureModel(units, [memory], [(u, memory) for u in units])
+
+
+def heterogeneous_cluster(
+    nodes: int, cores_per_node: int = 1, gpus_per_node: int = 1
+) -> ArchitectureModel:
+    """Nodes with CPU cores *and* GPUs, each GPU owning a device memory.
+
+    Definition 2.8 explicitly includes GPUs among compute units and device
+    memories among address spaces: a GPU links only to its own memory, so
+    the *start* rule forces data into device memory before a GPU variant
+    may run — offloading expressed purely through the model.
+    """
+    if nodes < 1 or cores_per_node < 1 or gpus_per_node < 0:
+        raise ValueError("invalid heterogeneous cluster shape")
+    units: list[ComputeUnit] = []
+    memories: list[MemorySpace] = []
+    links: list[tuple[ComputeUnit, MemorySpace]] = []
+    for n in range(nodes):
+        host = MemorySpace(f"m{n}")
+        memories.append(host)
+        for k in range(cores_per_node):
+            cpu = ComputeUnit(f"c{n}.{k}")
+            units.append(cpu)
+            links.append((cpu, host))
+        for g in range(gpus_per_node):
+            device_memory = MemorySpace(f"m{n}.gpu{g}")
+            memories.append(device_memory)
+            gpu = ComputeUnit(f"g{n}.{g}")
+            units.append(gpu)
+            # the device accesses only its own memory — data must be
+            # migrated/replicated there for a GPU variant to start
+            links.append((gpu, device_memory))
+    return ArchitectureModel(units, memories, links)

@@ -1,0 +1,68 @@
+"""Data items at the specification level (Definitions 2.1 and 2.2).
+
+A :class:`DataItemDecl` stands for one element ``d`` of the abstract set
+``D`` of data structure instances: it carries an identity and the finite set
+``elems(d)`` of logical element addresses, represented as a
+:class:`~repro.regions.base.Region` so that the model never has to
+enumerate elements explicitly.
+
+Values of elements (the ``val`` function the paper mentions and omits) are
+likewise omitted here; the functional data items of :mod:`repro.items`
+carry values at the implementation level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.regions.base import Region
+from repro.util.ids import fresh_id
+
+
+class DataItemDecl:
+    """Declaration of a single data item instance ``d ∈ D``.
+
+    Parameters
+    ----------
+    full_region:
+        The region addressing ``elems(d)`` — every element the item has.
+    name:
+        Optional human-readable name; a fresh id is generated otherwise.
+
+    Identity is by object (two declarations with equal regions are distinct
+    data items, matching the set-theoretic model where ``D`` contains
+    *instances*).
+    """
+
+    __slots__ = ("name", "_full_region")
+
+    def __init__(self, full_region: Region, name: str | None = None) -> None:
+        self.name = name if name is not None else fresh_id("item")
+        self._full_region = full_region
+
+    @property
+    def full_region(self) -> Region:
+        """The region covering ``elems(d)``."""
+        return self._full_region
+
+    def elems(self) -> Iterator:
+        """Enumerate ``elems(d)`` (tests/debugging only)."""
+        return self._full_region.elements()
+
+    def num_elements(self) -> int:
+        return self._full_region.size()
+
+    def empty_region(self) -> Region:
+        """An empty region compatible with this item's element universe."""
+        return self._full_region.difference(self._full_region)
+
+    def check_region(self, region: Region) -> Region:
+        """Validate ``region ⊆ elems(d)`` (Definition 2.2) and return it."""
+        if not region.difference(self._full_region).is_empty():
+            raise ValueError(
+                f"region {region!r} is not a subset of elems({self.name})"
+            )
+        return region
+
+    def __repr__(self) -> str:
+        return f"DataItemDecl({self.name!r}, |elems|={self._full_region.size()})"

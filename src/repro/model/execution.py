@@ -1,0 +1,106 @@
+"""Task-local execution states and the ``step`` function (Definition 2.6).
+
+The paper models variant execution as an abstract state set ``S`` with
+``init : V → S`` and ``step : V × S → S × A``.  Here a variant's behaviour
+is a Python generator: ``init`` instantiates the generator, and each
+``step`` resumes it until it yields the next :class:`Action`.  A variant
+that returns (``StopIteration``) implicitly issues the final ``end``
+action, so every execution trace ends with ``end`` as Def. 2.6 requires for
+terminating variants.
+
+:class:`TaskContext` is the handle a body receives; it exposes helpers to
+build the actions without importing the action classes in user code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.model.actions import Action, Create, Destroy, End, Spawn, Sync, END
+from repro.model.elements import DataItemDecl
+from repro.model.task import Task, Variant
+
+
+class TaskContext:
+    """Execution context handed to variant bodies.
+
+    Bodies are generator functions ``def body(ctx): yield ...``; the helper
+    methods construct the actions of Definition 2.5:
+
+    >>> def body(ctx):
+    ...     child = make_child_task()
+    ...     yield ctx.spawn(child)
+    ...     yield ctx.sync(child)
+    """
+
+    __slots__ = ("variant",)
+
+    def __init__(self, variant: Variant) -> None:
+        self.variant = variant
+
+    def spawn(self, task: Task) -> Spawn:
+        return Spawn(task.check_well_formed())
+
+    def sync(self, task: Task) -> Sync:
+        return Sync(task)
+
+    def create(self, item: DataItemDecl) -> Create:
+        return Create(item)
+
+    def destroy(self, item: DataItemDecl) -> Destroy:
+        return Destroy(item)
+
+
+class VariantExecution:
+    """One element of the abstract state set ``S`` plus its driver.
+
+    The pair ``(variant, generator-state)`` corresponds to a state
+    ``s ∈ S``; :meth:`step` is ``step(v, s) = (s', a)`` where the successor
+    state is this same object after mutation.  The number of executed steps
+    and the issued action sequence are recorded for property checks.
+    """
+
+    __slots__ = ("variant", "_gen", "steps", "actions", "finished")
+
+    def __init__(self, variant: Variant) -> None:
+        self.variant = variant
+        self._gen: Iterator[Action] | None = variant.body(TaskContext(variant))
+        self.steps = 0
+        self.actions: list[Action] = []
+        self.finished = False
+
+    @classmethod
+    def init(cls, variant: Variant) -> "VariantExecution":
+        """``init : V → S`` (Definition 2.6)."""
+        return cls(variant)
+
+    def step(self) -> Action:
+        """Advance one transition of the task-local state machine.
+
+        Returns the issued action; after :class:`End` has been returned the
+        execution is finished and further stepping is an error.
+        """
+        if self.finished:
+            raise RuntimeError(
+                f"variant {self.variant.name!r} already issued end"
+            )
+        assert self._gen is not None
+        try:
+            action = next(self._gen)
+        except StopIteration:
+            action = END
+        if not isinstance(action, (Spawn, Sync, Create, Destroy, End)):
+            raise TypeError(
+                f"variant {self.variant.name!r} yielded {action!r}, "
+                "which is not an Action"
+            )
+        if isinstance(action, End):
+            self.finished = True
+            self._gen = None
+        self.steps += 1
+        self.actions.append(action)
+        return action
+
+    def __repr__(self) -> str:
+        status = "finished" if self.finished else f"step {self.steps}"
+        return f"VariantExecution({self.variant.name!r}, {status})"

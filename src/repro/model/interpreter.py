@@ -1,0 +1,365 @@
+"""Nondeterministic small-step interpreter producing traces (Definition 2.11).
+
+The interpreter drives a :class:`~repro.model.state.SystemState` from the
+initial state ``({t0}, ∅, ∅, ∅, ∅, ∅, arch)`` through transitions of
+Definition 2.10 until a terminal state is reached (or a step bound or a
+deadlock is hit).  All scheduling freedom the rules leave open — which task
+to start, which variant to pick, which compute unit and memory binding to
+use, when to run data management transitions — is resolved by a seeded RNG,
+so that property-based tests can explore many interleavings while each run
+stays reproducible.
+
+Two kinds of runtime-controlled behaviour are modelled:
+
+* a *staging policy* mirroring the real data item manager: when a queued
+  task cannot start because its data is missing or misplaced, legal
+  ``init`` / ``migrate`` / ``replicate`` transitions are issued to satisfy
+  the requirements (this is how the actual runtime of §3.2 behaves);
+* optional *chaos data operations*: random legal migrations/replications/
+  deletions-of-replicas interleaved with the program, used by the tests to
+  show the §2.5 invariants survive arbitrary runtime meddling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.model import transitions as rules
+from repro.model.architecture import ArchitectureModel, MemorySpace
+from repro.model.elements import DataItemDecl
+from repro.model.state import StateSnapshot, SystemState, initial_state
+from repro.model.task import Program, Task, Variant
+
+
+PROGRESS_KINDS = frozenset(
+    {"start", "spawn", "sync", "continue", "end", "create", "destroy"}
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One fired transition, with an optional post-state snapshot."""
+
+    kind: str
+    detail: str
+    snapshot: StateSnapshot | None = None
+
+    def is_progress(self) -> bool:
+        """Whether this event is a ``→p`` transition (Definition A.2)."""
+        return self.kind in PROGRESS_KINDS
+
+
+@dataclass
+class Trace:
+    """A recorded execution ``s0 → s1 → ...`` plus its outcome."""
+
+    initial: StateSnapshot
+    events: list[TraceEvent] = field(default_factory=list)
+    terminated: bool = False
+    deadlocked: bool = False
+
+    def progress_steps(self) -> int:
+        """``p_steps`` of Definition A.3 — number of progress transitions."""
+        return sum(1 for e in self.events if e.is_progress())
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class InterpreterConfig:
+    """Knobs of the nondeterministic executor."""
+
+    seed: int = 0
+    max_transitions: int = 100_000
+    chaos_data_ops: float = 0.0
+    record_snapshots: bool = False
+    max_start_candidates: int = 8
+
+
+class DeadlockError(RuntimeError):
+    """Raised by :meth:`Interpreter.run_to_completion` on a stuck state."""
+
+
+class Interpreter:
+    """Executes programs against the formal transition rules.
+
+    ``observer`` receives transition notifications with their payloads —
+    e.g. a :class:`~repro.model.values.VersionTracker` maintaining the
+    value semantics of §2.1.  Any subset of the hook methods (``on_start``,
+    ``on_init``, ``on_migrate``, ``on_replicate``, ``on_variant_end``,
+    ``on_destroy``) may be provided.
+    """
+
+    def __init__(
+        self,
+        config: InterpreterConfig | None = None,
+        observer: object | None = None,
+    ) -> None:
+        self.config = config or InterpreterConfig()
+        self.observer = observer
+
+    def _notify(self, hook: str, *args) -> None:
+        if self.observer is not None:
+            fn = getattr(self.observer, hook, None)
+            if fn is not None:
+                fn(*args)
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(
+        self, program: Program, architecture: ArchitectureModel
+    ) -> tuple[Trace, SystemState]:
+        """Execute ``program`` and return its trace and final state."""
+        rng = random.Random(self.config.seed)
+        state = initial_state(architecture, program.entry)
+        trace = Trace(initial=state.snapshot())
+        for _ in range(self.config.max_transitions):
+            if state.is_terminal():
+                trace.terminated = True
+                break
+            fired = self._fire_one(state, trace, rng)
+            if not fired:
+                trace.deadlocked = True
+                break
+        return trace, state
+
+    def run_to_completion(
+        self, program: Program, architecture: ArchitectureModel
+    ) -> tuple[Trace, SystemState]:
+        """Like :meth:`run` but raises on deadlock or step-bound exhaustion."""
+        trace, state = self.run(program, architecture)
+        if trace.deadlocked:
+            raise DeadlockError(f"program deadlocked in state {state!r}")
+        if not trace.terminated:
+            raise DeadlockError(
+                f"step bound {self.config.max_transitions} exhausted"
+            )
+        return trace, state
+
+    # -- single transition selection ------------------------------------------------
+
+    def _fire_one(
+        self, state: SystemState, trace: Trace, rng: random.Random
+    ) -> bool:
+        """Fire one enabled transition; return False when truly stuck."""
+        if self.config.chaos_data_ops and rng.random() < self.config.chaos_data_ops:
+            if self._fire_chaos_data_op(state, trace, rng):
+                return True
+
+        choices: list[tuple[str, object]] = []
+        choices.extend(("progress", entry) for entry in state.running)
+        choices.extend(
+            ("continue", entry) for entry in rules.enabled_continues(state)
+        )
+        starts = list(
+            itertools.islice(
+                rules.enabled_starts(state), self.config.max_start_candidates
+            )
+        )
+        choices.extend(("start", c) for c in starts)
+
+        if not choices and state.queued:
+            # nothing runnable: stage data so a queued task can start
+            if self._stage_for_some_task(state, trace, rng):
+                return True
+            return False
+        if not choices:
+            return False
+
+        kind, payload = rng.choice(choices)
+        if kind == "progress":
+            action = rules.apply_progress(state, payload, self.observer)  # type: ignore[arg-type]
+            name = type(action).__name__.lower()
+            detail = payload.variant.name  # type: ignore[union-attr]
+            target = getattr(action, "task", None) or getattr(
+                action, "item", None
+            )
+            if target is not None:
+                detail = f"{detail}->{target.name}"
+            self._record(trace, state, name, detail)
+        elif kind == "continue":
+            rules.apply_continue(state, payload)  # type: ignore[arg-type]
+            self._record(trace, state, "continue", payload.variant.name)  # type: ignore[union-attr]
+        else:
+            candidate = payload
+            entry = rules.apply_start(state, candidate)  # type: ignore[arg-type]
+            self._notify("on_start", state, entry)
+            self._record(
+                trace,
+                state,
+                "start",
+                f"{candidate.variant.name}@{candidate.unit.name}",  # type: ignore[union-attr]
+            )
+        return True
+
+    # -- data staging policy ----------------------------------------------------------
+
+    def _stage_for_some_task(
+        self, state: SystemState, trace: Trace, rng: random.Random
+    ) -> bool:
+        """Issue one batch of data transitions toward starting a queued task.
+
+        Mirrors the real data item manager: bring the write set exclusively
+        to a chosen memory (migrations), then fill remaining read gaps with
+        replications, and initialize data present nowhere.  Returns whether
+        any transition fired.
+        """
+        tasks = sorted(state.queued, key=lambda t: t.name)
+        rng.shuffle(tasks)
+        for task in tasks:
+            variant = rng.choice(list(task.variants))
+            units = sorted(
+                state.architecture.compute_units, key=lambda c: c.name
+            )
+            unit = rng.choice(units)
+            memories = sorted(
+                state.architecture.accessible_memories(unit),
+                key=lambda m: m.name,
+            )
+            if not memories:
+                continue
+            target = rng.choice(memories)
+            if self._stage_variant(state, trace, variant, target):
+                return True
+        return False
+
+    def _stage_variant(
+        self,
+        state: SystemState,
+        trace: Trace,
+        variant: Variant,
+        target: MemorySpace,
+    ) -> bool:
+        fired = False
+        reqs = variant.requirements
+        for item in sorted(reqs.items(), key=lambda i: i.name):
+            if item not in state.items:
+                return fired  # not created yet; cannot stage
+            write = reqs.write(item)
+            # 1. written elements must live exclusively at `target`
+            for memory in sorted(
+                state.architecture.memories, key=lambda m: m.name
+            ):
+                if memory == target:
+                    continue
+                stray = state.present_region(memory, item).intersect(write)
+                if not stray.is_empty() and rules.migrate_guard(
+                    state, memory, target, item, stray
+                ):
+                    rules.apply_migrate(state, memory, target, item, stray)
+                    self._notify("on_migrate", memory, target, item, stray)
+                    self._record(
+                        trace,
+                        state,
+                        "migrate",
+                        f"{item.name}:{memory.name}->{target.name}",
+                    )
+                    fired = True
+            # 2. read elements missing at `target`: replicate from any holder
+            needed = reqs.accessed(item)
+            missing = needed.difference(state.present_region(target, item))
+            if not missing.is_empty():
+                for memory in state.memories_holding(item, missing):
+                    if memory == target:
+                        continue
+                    part = state.present_region(memory, item).intersect(missing)
+                    if not part.is_empty() and rules.replicate_guard(
+                        state, memory, target, item, part
+                    ):
+                        rules.apply_replicate(state, memory, target, item, part)
+                        self._notify("on_replicate", memory, target, item, part)
+                        self._record(
+                            trace,
+                            state,
+                            "replicate",
+                            f"{item.name}:{memory.name}->{target.name}",
+                        )
+                        missing = missing.difference(part)
+                        fired = True
+            # 3. elements present nowhere: initialize at `target`
+            virgin = missing.intersect(rules.uninitialized_region(state, item))
+            if not virgin.is_empty() and rules.init_guard(
+                state, target, item, virgin
+            ):
+                rules.apply_init(state, target, item, virgin)
+                self._notify("on_init", target, item, virgin)
+                self._record(
+                    trace, state, "init", f"{item.name}@{target.name}"
+                )
+                fired = True
+        return fired
+
+    # -- chaos data operations ----------------------------------------------------------
+
+    def _fire_chaos_data_op(
+        self, state: SystemState, trace: Trace, rng: random.Random
+    ) -> bool:
+        """Fire one random legal init/migrate/replicate, if any applies."""
+        memories = sorted(state.architecture.memories, key=lambda m: m.name)
+        items = sorted(state.items, key=lambda i: i.name)
+        if not memories or not items:
+            return False
+        ops = ["init", "migrate", "replicate"]
+        rng.shuffle(ops)
+        for op in ops:
+            item = rng.choice(items)
+            if op == "init":
+                region = rules.uninitialized_region(state, item)
+                memory = rng.choice(memories)
+                if rules.init_guard(state, memory, item, region):
+                    rules.apply_init(state, memory, item, region)
+                    self._notify("on_init", memory, item, region)
+                    self._record(
+                        trace, state, "init", f"chaos:{item.name}@{memory.name}"
+                    )
+                    return True
+            else:
+                holders = [
+                    m
+                    for m in memories
+                    if not state.present_region(m, item).is_empty()
+                ]
+                if not holders or len(memories) < 2:
+                    continue
+                source = rng.choice(holders)
+                target = rng.choice([m for m in memories if m != source])
+                region = state.present_region(source, item)
+                if op == "migrate" and rules.migrate_guard(
+                    state, source, target, item, region
+                ):
+                    rules.apply_migrate(state, source, target, item, region)
+                    self._notify("on_migrate", source, target, item, region)
+                    self._record(
+                        trace,
+                        state,
+                        "migrate",
+                        f"chaos:{item.name}:{source.name}->{target.name}",
+                    )
+                    return True
+                if op == "replicate" and rules.replicate_guard(
+                    state, source, target, item, region
+                ):
+                    rules.apply_replicate(state, source, target, item, region)
+                    self._notify("on_replicate", source, target, item, region)
+                    self._record(
+                        trace,
+                        state,
+                        "replicate",
+                        f"chaos:{item.name}:{source.name}->{target.name}",
+                    )
+                    return True
+        return False
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _record(
+        self, trace: Trace, state: SystemState, kind: str, detail: str
+    ) -> None:
+        snapshot = state.snapshot() if self.config.record_snapshots else None
+        trace.events.append(TraceEvent(kind, detail, snapshot))

@@ -1,0 +1,153 @@
+"""Checkable forms of the model properties of §2.5 / Appendix A.
+
+Each checker raises :class:`PropertyViolation` with a diagnostic message
+when the property fails, and returns quietly otherwise — convenient both
+for direct assertions in tests and for wrapping into hypothesis properties.
+
+* :func:`check_single_execution` — in a terminating trace, the entry point
+  and every spawned task is started exactly once, through exactly one
+  variant (Theorems A.1/A.2).
+* :func:`check_satisfied_requirements` — every running/blocked variant has
+  all its required data present, in memories reachable from its compute
+  unit, protected by its own locks (§A.2.3).
+* :func:`check_exclusive_writes` — a write-locked element is present in
+  exactly the one address space holding the lock (§A.2.4).
+* :func:`check_data_preservation` — across a transition, the system-wide
+  coverage of every live data item never shrinks; only *destroy* may drop
+  data (§A.2.5).
+* :func:`check_terminal` — terminal states per Definition 2.11 carry no
+  queued/running/blocked work and no locks.
+
+Termination itself (Theorem A.3) is checked in the test-suite by running
+many random schedules of deadlock-free programs under a step budget and
+asserting each reaches a terminal state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.interpreter import Trace
+from repro.model.state import SystemState
+
+
+class PropertyViolation(AssertionError):
+    """A model property of §2.5 does not hold."""
+
+
+def check_terminal(state: SystemState) -> None:
+    """Assert the state is terminal: ``(∅, ∅, ∅, Dt, ∅, ∅, arch)``."""
+    if state.queued:
+        raise PropertyViolation(f"terminal state has queued tasks: {state.queued}")
+    if state.running:
+        raise PropertyViolation(f"terminal state has running variants: {state.running}")
+    if state.blocked:
+        raise PropertyViolation(f"terminal state has blocked variants: {state.blocked}")
+    if state.read_locks or state.write_locks:
+        raise PropertyViolation("terminal state still holds locks")
+
+
+def check_single_execution(trace: Trace, state: SystemState) -> None:
+    """No task is started twice; on termination every spawned task ran once."""
+    started = [t.name for t in state.started]
+    if len(started) != len(set(started)):
+        dupes = sorted({n for n in started if started.count(n) > 1})
+        raise PropertyViolation(f"tasks started more than once: {dupes}")
+    if trace.terminated:
+        spawned = {t.name for t in state.spawned}
+        if spawned != set(started):
+            raise PropertyViolation(
+                "terminating trace did not start every spawned task exactly "
+                f"once: spawned={sorted(spawned)}, started={sorted(started)}"
+            )
+
+
+def check_satisfied_requirements(state: SystemState) -> None:
+    """Running/blocked variants retain their data where they were bound."""
+    entries = [(e.unit, e.variant, e.binding) for e in state.running]
+    entries += [(e.unit, e.variant, e.binding) for e in state.blocked]
+    for unit, variant, binding in entries:
+        reqs = variant.requirements
+        for item in reqs.items():
+            memory = binding.get(item)
+            if memory is None:
+                raise PropertyViolation(
+                    f"{variant.name!r} has no memory binding for {item.name!r}"
+                )
+            if not state.architecture.can_access(unit, memory):
+                raise PropertyViolation(
+                    f"{variant.name!r} bound to memory {memory.name!r} "
+                    f"not accessible from {unit.name!r}"
+                )
+            accessed = reqs.accessed(item)
+            present = state.present_region(memory, item)
+            if not present.covers(accessed):
+                raise PropertyViolation(
+                    f"data required by {variant.name!r} on {item.name!r} "
+                    f"is missing from {memory.name!r}"
+                )
+            # the variant's own locks must pin the accessed region
+            read_lock = state.read_locks.get((variant, memory, item))
+            write_lock = state.write_locks.get((variant, memory, item))
+            read_needed = reqs.read(item)
+            if not read_needed.is_empty() and (
+                read_lock is None or not read_lock.covers(read_needed)
+            ):
+                raise PropertyViolation(
+                    f"{variant.name!r} lost its read lock on {item.name!r}"
+                )
+            write_needed = reqs.write(item)
+            if not write_needed.is_empty() and (
+                write_lock is None or not write_lock.covers(write_needed)
+            ):
+                raise PropertyViolation(
+                    f"{variant.name!r} lost its write lock on {item.name!r}"
+                )
+
+
+def check_exclusive_writes(state: SystemState) -> None:
+    """Write-locked data exists only in the address space holding the lock."""
+    for (variant, memory, item), region in state.write_locks.items():
+        for other in state.architecture.memories:
+            if other == memory:
+                continue
+            replica = state.present_region(other, item).intersect(region)
+            if not replica.is_empty():
+                raise PropertyViolation(
+                    f"element(s) of {item.name!r} write-locked by "
+                    f"{variant.name!r} in {memory.name!r} are replicated "
+                    f"in {other.name!r}"
+                )
+
+
+def check_data_preservation(
+    before: SystemState | dict,
+    after: SystemState,
+    destroyed: Iterable = (),
+) -> None:
+    """System-wide coverage of live items never shrinks.
+
+    ``before`` may be a live state or a pre-captured ``{item: coverage}``
+    dict (use :func:`capture_coverage` to snapshot before mutating).
+    ``destroyed`` lists items legitimately dropped since the capture.
+    """
+    if isinstance(before, SystemState):
+        coverage_before = capture_coverage(before)
+    else:
+        coverage_before = before
+    dropped = set(destroyed)
+    for item, old in coverage_before.items():
+        if item in dropped:
+            continue
+        new = after.coverage(item)
+        lost = old.difference(new)
+        if not lost.is_empty():
+            raise PropertyViolation(
+                f"runtime lost {lost.size()} element(s) of {item.name!r} "
+                "without an explicit destroy"
+            )
+
+
+def capture_coverage(state: SystemState) -> dict:
+    """Snapshot ``{item: coverage-region}`` for later preservation checks."""
+    return {item: state.coverage(item) for item in state.items}

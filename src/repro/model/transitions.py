@@ -1,0 +1,389 @@
+"""The ten state transition rules (Definition 2.10, Figs. 2 and 3).
+
+Each rule is a pair of functions: a *guard* that decides whether a concrete
+instantiation of the rule is enabled in a given state, and an *apply* that
+performs the (atomic) state update.  Task-related rules — *start*, *spawn*,
+*sync*, *continue*, *end* — come from Fig. 2; data-related rules —
+*create*, *init*, *migrate*, *replicate*, *destroy* — from Fig. 3.
+
+The *progress* rules (spawn/sync/end/create/destroy) share one entry point,
+:func:`apply_progress`, because which of them fires is determined by the
+action the ``step`` function returns — exactly how the inference rules
+dispatch on ``step(v, s)``.
+
+Faithfulness notes
+------------------
+* *(migrate)* and *(replicate)* as literally printed add ``{md} × {d} × E``
+  without requiring ``E`` to be present at the source ``ms``; read that way
+  they could materialize data from nothing and even create replicas of
+  elements write-locked in a third address space, contradicting the paper's
+  own *exclusive writes* and *data preservation* proofs (Appendix A argues
+  "every element removed from the source is added to the target").  We
+  therefore implement the evidently intended guard ``E ⊆ D(ms, d)``.
+* *(start)* uses disjoint union ``⊎`` when adding locks; since lock tuples
+  are keyed by the (fresh) variant, disjointness always holds — the rule
+  does *not* forbid overlapping locks held by different variants, and
+  neither do we.  Race freedom at this level comes from the model's
+  sequential-equivalence requirement, not from lock exclusivity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.model.actions import Action, Create, Destroy, End, Spawn, Sync
+from repro.model.architecture import ComputeUnit, MemorySpace
+from repro.model.elements import DataItemDecl
+from repro.model.execution import VariantExecution
+from repro.model.state import BlockedEntry, RunningEntry, SystemState
+from repro.model.task import Task, Variant
+from repro.regions.base import Region
+
+
+class TransitionError(RuntimeError):
+    """Raised when an apply function is invoked with a violated guard."""
+
+
+@dataclass(frozen=True)
+class StartCandidate:
+    """A concrete instantiation of the *start* rule."""
+
+    task: Task
+    variant: Variant
+    unit: ComputeUnit
+    binding: Mapping[DataItemDecl, MemorySpace]
+
+
+# ---------------------------------------------------------------------------
+# (start) — Fig. 2
+# ---------------------------------------------------------------------------
+
+
+def start_guard(
+    state: SystemState,
+    task: Task,
+    variant: Variant,
+    unit: ComputeUnit,
+    binding: Mapping[DataItemDecl, MemorySpace],
+) -> bool:
+    """Premises of the *start* rule for a concrete (t, v, c, m) witness."""
+    if task not in state.queued or variant not in task.variants:
+        return False
+    reqs = variant.requirements
+    for item in reqs.items():
+        memory = binding.get(item)
+        if memory is None:
+            return False
+        # (c, m(d)) ∈ L
+        if not state.architecture.can_access(unit, memory):
+            return False
+        # all accessed elements present in m(d)
+        accessed = reqs.accessed(item)
+        if not state.present_region(memory, item).covers(accessed):
+            return False
+        # D ∩ Dw = ∅: written elements must not be present anywhere else
+        write = reqs.write(item)
+        if not write.is_empty():
+            for other in state.architecture.memories:
+                if other == memory:
+                    continue
+                if state.present_region(other, item).overlaps(write):
+                    return False
+    return True
+
+
+def enabled_starts(state: SystemState) -> Iterator[StartCandidate]:
+    """Enumerate all enabled instantiations of the *start* rule."""
+    for task in sorted(state.queued, key=lambda t: t.name):
+        for variant in task.variants:
+            reqs = variant.requirements
+            items = sorted(reqs.items(), key=lambda i: i.name)
+            for unit in sorted(
+                state.architecture.compute_units, key=lambda c: c.name
+            ):
+                mem_choices = []
+                for item in items:
+                    candidates = [
+                        m
+                        for m in state.architecture.accessible_memories(unit)
+                        if state.present_region(m, item).covers(
+                            reqs.accessed(item)
+                        )
+                    ]
+                    mem_choices.append(sorted(candidates, key=lambda m: m.name))
+                if items and any(not c for c in mem_choices):
+                    continue
+                for combo in itertools.product(*mem_choices):
+                    binding = dict(zip(items, combo))
+                    if start_guard(state, task, variant, unit, binding):
+                        yield StartCandidate(task, variant, unit, binding)
+
+
+def apply_start(state: SystemState, candidate: StartCandidate) -> RunningEntry:
+    """Fire the *start* rule: dequeue, begin execution, install locks."""
+    if not start_guard(
+        state, candidate.task, candidate.variant, candidate.unit, candidate.binding
+    ):
+        raise TransitionError(f"start guard violated for {candidate!r}")
+    state.queued.remove(candidate.task)
+    execution = VariantExecution.init(candidate.variant)
+    entry = RunningEntry(candidate.unit, execution, dict(candidate.binding))
+    state.running.append(entry)
+    reqs = candidate.variant.requirements
+    for item, memory in candidate.binding.items():
+        read = reqs.read(item)
+        if not read.is_empty():
+            key = (candidate.variant, memory, item)
+            state.read_locks[key] = read
+        write = reqs.write(item)
+        if not write.is_empty():
+            key = (candidate.variant, memory, item)
+            state.write_locks[key] = write
+    state.started.append(candidate.task)
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# progress rules: (spawn), (sync), (end) of Fig. 2; (create), (destroy) of Fig. 3
+# ---------------------------------------------------------------------------
+
+
+def apply_progress(
+    state: SystemState, entry: RunningEntry, observer: object | None = None
+) -> Action:
+    """Advance one running execution by one ``step`` and fire the matching rule.
+
+    Returns the action that was issued.  ``observer`` (e.g. a
+    :class:`~repro.model.values.VersionTracker`) is notified of effects
+    that need pre-transition context: variant completion (before locks
+    release) and item destruction.
+    """
+    if entry not in state.running:
+        raise TransitionError(f"{entry!r} is not running")
+    action = entry.execution.step()
+    if isinstance(action, Spawn):
+        _apply_spawn(state, entry, action.task)
+    elif isinstance(action, Sync):
+        _apply_sync(state, entry, action.task)
+    elif isinstance(action, End):
+        if observer is not None:
+            observer.on_variant_end(state, entry.variant)
+        _apply_end(state, entry)
+    elif isinstance(action, Create):
+        _apply_create(state, entry, action.item)
+    elif isinstance(action, Destroy):
+        if observer is not None:
+            observer.on_destroy(action.item)
+        _apply_destroy(state, entry, action.item)
+    else:  # pragma: no cover - VariantExecution already validates
+        raise TransitionError(f"unknown action {action!r}")
+    return action
+
+
+def _apply_spawn(state: SystemState, entry: RunningEntry, task: Task) -> None:
+    """Rule *(spawn)*: enqueue a new task.
+
+    The paper assumes every non-entry task has a unique spawn point; a
+    second spawn of the same task is therefore a malformed program and is
+    rejected rather than silently re-enqueued.
+    """
+    if task in state.spawned:
+        raise TransitionError(
+            f"task {task.name!r} spawned twice — violates the unique "
+            "spawn point assumption of Definition 2.7"
+        )
+    task.check_well_formed()
+    state.spawned.add(task)
+    state.queued.add(task)
+
+
+def _apply_sync(state: SystemState, entry: RunningEntry, task: Task) -> None:
+    """Rule *(sync)*: move the issuing execution from R to B."""
+    state.running.remove(entry)
+    state.blocked.append(
+        BlockedEntry(entry.unit, entry.execution, task, entry.binding)
+    )
+
+
+def _apply_end(state: SystemState, entry: RunningEntry) -> None:
+    """Rule *(end)*: discard state, release the variant's locks."""
+    state.running.remove(entry)
+    state.release_locks_of(entry.variant)
+    state.completed.add(entry.variant.task)
+
+
+def _apply_create(
+    state: SystemState, entry: RunningEntry, item: DataItemDecl
+) -> None:
+    """Rule *(create)*: register the item; no allocation, no locks."""
+    if item in state.items:
+        raise TransitionError(f"data item {item.name!r} created twice")
+    state.items.add(item)
+
+
+def _apply_destroy(
+    state: SystemState, entry: RunningEntry, item: DataItemDecl
+) -> None:
+    """Rule *(destroy)*: drop all copies and all locks of the item."""
+    if item not in state.items:
+        raise TransitionError(f"destroy of unknown data item {item.name!r}")
+    state.items.remove(item)
+    for key in [k for k in state.distribution if k[1] is item]:
+        del state.distribution[key]
+    state.drop_item_locks(item)
+
+
+# ---------------------------------------------------------------------------
+# (continue) — Fig. 2
+# ---------------------------------------------------------------------------
+
+
+def continue_guard(state: SystemState, entry: BlockedEntry) -> bool:
+    """``t ∉ Q`` and no variant of ``t`` is running or blocked."""
+    task = entry.waiting_on
+    if task in state.queued:
+        return False
+    variants = set(task.variants)
+    for running in state.running:
+        if running.variant in variants:
+            return False
+    for blocked in state.blocked:
+        if blocked.variant in variants:
+            return False
+    return True
+
+
+def enabled_continues(state: SystemState) -> Iterator[BlockedEntry]:
+    for entry in list(state.blocked):
+        if continue_guard(state, entry):
+            yield entry
+
+
+def apply_continue(state: SystemState, entry: BlockedEntry) -> RunningEntry:
+    if not continue_guard(state, entry):
+        raise TransitionError(f"continue guard violated for {entry!r}")
+    state.blocked.remove(entry)
+    resumed = RunningEntry(entry.unit, entry.execution, entry.binding)
+    state.running.append(resumed)
+    return resumed
+
+
+# ---------------------------------------------------------------------------
+# (init) — Fig. 3
+# ---------------------------------------------------------------------------
+
+
+def init_guard(
+    state: SystemState, memory: MemorySpace, item: DataItemDecl, region: Region
+) -> bool:
+    """``E ≠ ∅`` and no element of ``E`` is present in any address space."""
+    if item not in state.items or region.is_empty():
+        return False
+    if memory not in state.architecture.memories:
+        return False
+    if not item.full_region.covers(region):
+        return False
+    return not state.coverage(item).overlaps(region)
+
+
+def uninitialized_region(state: SystemState, item: DataItemDecl) -> Region:
+    """Maximal region an *init* may target for ``item``."""
+    return item.full_region.difference(state.coverage(item))
+
+
+def apply_init(
+    state: SystemState, memory: MemorySpace, item: DataItemDecl, region: Region
+) -> None:
+    if not init_guard(state, memory, item, region):
+        raise TransitionError(
+            f"init guard violated for {item.name!r} in {memory.name!r}"
+        )
+    state.set_present(
+        memory, item, state.present_region(memory, item).union(region)
+    )
+
+
+# ---------------------------------------------------------------------------
+# (migrate) — Fig. 3
+# ---------------------------------------------------------------------------
+
+
+def migrate_guard(
+    state: SystemState,
+    source: MemorySpace,
+    target: MemorySpace,
+    item: DataItemDecl,
+    region: Region,
+) -> bool:
+    """No locks on the region at source or target; region present at source."""
+    if item not in state.items or region.is_empty():
+        return False
+    if not state.present_region(source, item).covers(region):
+        return False  # faithfulness note: see module docstring
+    for memory in (source, target):
+        if state.any_locked(memory, item).overlaps(region):
+            return False
+    return True
+
+
+def apply_migrate(
+    state: SystemState,
+    source: MemorySpace,
+    target: MemorySpace,
+    item: DataItemDecl,
+    region: Region,
+) -> None:
+    if not migrate_guard(state, source, target, item, region):
+        raise TransitionError(
+            f"migrate guard violated for {item.name!r}: "
+            f"{source.name} -> {target.name}"
+        )
+    state.set_present(
+        source, item, state.present_region(source, item).difference(region)
+    )
+    state.set_present(
+        target, item, state.present_region(target, item).union(region)
+    )
+
+
+# ---------------------------------------------------------------------------
+# (replicate) — Fig. 3
+# ---------------------------------------------------------------------------
+
+
+def replicate_guard(
+    state: SystemState,
+    source: MemorySpace,
+    target: MemorySpace,
+    item: DataItemDecl,
+    region: Region,
+) -> bool:
+    """No write lock at source, no locks at target, region present at source."""
+    if item not in state.items or region.is_empty():
+        return False
+    if not state.present_region(source, item).covers(region):
+        return False  # faithfulness note: see module docstring
+    if state.write_locked(source, item).overlaps(region):
+        return False
+    if state.any_locked(target, item).overlaps(region):
+        return False
+    return True
+
+
+def apply_replicate(
+    state: SystemState,
+    source: MemorySpace,
+    target: MemorySpace,
+    item: DataItemDecl,
+    region: Region,
+) -> None:
+    if not replicate_guard(state, source, target, item, region):
+        raise TransitionError(
+            f"replicate guard violated for {item.name!r}: "
+            f"{source.name} -> {target.name}"
+        )
+    state.set_present(
+        target, item, state.present_region(target, item).union(region)
+    )

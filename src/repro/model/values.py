@@ -1,0 +1,183 @@
+"""Value semantics for the formal model — the ``val`` function of §2.1.
+
+The paper notes that element values "can be modeled by a function
+``val : D × E → X`` … updated along the evolution of the system state" and
+omits it for brevity.  This module supplies that omitted layer in an
+abstract form: instead of concrete values, every *copy* of an element
+carries a **version number** — the count of completed writes to that
+element.  Two copies with equal versions hold (by computational
+equivalence of variants) equal values, so version agreement is exactly
+value coherence without committing to a value domain ``X``.
+
+The tracker mirrors state transitions:
+
+* *(init)* stamps fresh elements with version 0;
+* *(migrate)* / *(replicate)* carry versions with the data;
+* *(end)* bumps the version of every element the finished variant had
+  write-locked, in the memory where the lock lived;
+* *(destroy)* forgets the item.
+
+Two derived properties become checkable (see
+:func:`check_replica_coherence` and :func:`check_read_freshness`):
+coherent replicas — all simultaneous copies of an element agree — and
+fresh reads — a starting variant always reads the globally newest
+version.  Both follow from the exclusive-writes discipline: a write
+requires all other copies gone, so divergent copies can never arise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.model.architecture import MemorySpace
+from repro.model.elements import DataItemDecl
+from repro.model.state import RunningEntry, SystemState
+from repro.regions.base import Region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.task import Variant
+
+
+class CoherenceViolation(AssertionError):
+    """Simultaneous copies of an element disagree, or a read was stale."""
+
+
+class VersionTracker:
+    """Per-copy write-version bookkeeping layered over a system state.
+
+    The interpreter does not know about this class; tests (or any other
+    driver) call the ``on_*`` hooks alongside the corresponding
+    transitions.  :meth:`attach_to` wires the hooks into an interpreter
+    run via the transition functions' observable effects.
+    """
+
+    def __init__(self) -> None:
+        # (memory, item) -> {element: version}
+        self._versions: dict[
+            tuple[MemorySpace, DataItemDecl], dict[object, int]
+        ] = {}
+
+    # -- queries ---------------------------------------------------------------
+
+    def version(
+        self, memory: MemorySpace, item: DataItemDecl, element: object
+    ) -> int | None:
+        return self._versions.get((memory, item), {}).get(element)
+
+    def newest_version(self, item: DataItemDecl, element: object) -> int:
+        newest = -1
+        for (memory, d), versions in self._versions.items():
+            if d is item and element in versions:
+                newest = max(newest, versions[element])
+        return newest
+
+    def copies_of(self, item: DataItemDecl, element: object) -> list[int]:
+        return [
+            versions[element]
+            for (_m, d), versions in self._versions.items()
+            if d is item and element in versions
+        ]
+
+    # -- transition hooks --------------------------------------------------------
+
+    def on_init(
+        self, memory: MemorySpace, item: DataItemDecl, region: Region
+    ) -> None:
+        store = self._versions.setdefault((memory, item), {})
+        for element in region.elements():
+            store[element] = 0
+
+    def on_migrate(
+        self,
+        source: MemorySpace,
+        target: MemorySpace,
+        item: DataItemDecl,
+        region: Region,
+    ) -> None:
+        src = self._versions.setdefault((source, item), {})
+        dst = self._versions.setdefault((target, item), {})
+        for element in region.elements():
+            if element in src:
+                dst[element] = src.pop(element)
+
+    def on_replicate(
+        self,
+        source: MemorySpace,
+        target: MemorySpace,
+        item: DataItemDecl,
+        region: Region,
+    ) -> None:
+        src = self._versions.get((source, item), {})
+        dst = self._versions.setdefault((target, item), {})
+        for element in region.elements():
+            if element in src:
+                dst[element] = src[element]
+
+    def on_variant_end(self, state: SystemState, variant: "Variant") -> None:
+        """Bump versions for the variant's write set (call *before* the
+        end transition releases its locks)."""
+        for (v, memory, item), region in state.write_locks.items():
+            if v is not variant:
+                continue
+            store = self._versions.setdefault((memory, item), {})
+            for element in region.elements():
+                store[element] = store.get(element, 0) + 1
+
+    def on_destroy(self, item: DataItemDecl) -> None:
+        for key in [k for k in self._versions if k[1] is item]:
+            del self._versions[key]
+
+    def on_start(self, state: SystemState, entry: RunningEntry) -> None:
+        """Interpreter hook: enforce freshness/coherence at every start."""
+        self.check_read_freshness(state, entry)
+        self.check_replica_coherence(state)
+
+    # -- checkable properties ---------------------------------------------------------
+
+    def check_replica_coherence(self, state: SystemState) -> None:
+        """All simultaneous copies of every element carry equal versions."""
+        for item in state.items:
+            seen: dict[object, int] = {}
+            for (memory, d), versions in self._versions.items():
+                if d is not item:
+                    continue
+                for element, version in versions.items():
+                    if element in seen and seen[element] != version:
+                        raise CoherenceViolation(
+                            f"element {element!r} of {item.name!r} has "
+                            f"divergent copies (versions {seen[element]} "
+                            f"and {version})"
+                        )
+                    seen.setdefault(element, version)
+
+    def check_read_freshness(
+        self, state: SystemState, entry: RunningEntry
+    ) -> None:
+        """A just-started variant sees the newest version of its read set."""
+        requirements = entry.variant.requirements
+        for item in requirements.items():
+            memory = entry.binding.get(item)
+            if memory is None:
+                continue
+            for element in requirements.read(item).elements():
+                local = self.version(memory, item, element)
+                newest = self.newest_version(item, element)
+                if local is None or local < newest:
+                    raise CoherenceViolation(
+                        f"variant {entry.variant.name!r} reads element "
+                        f"{element!r} of {item.name!r} at version {local} "
+                        f"while version {newest} exists elsewhere"
+                    )
+
+    def check_consistent_with_distribution(self, state: SystemState) -> None:
+        """Versioned copies exist exactly where the state says data is."""
+        for item in state.items:
+            for memory in state.architecture.memories:
+                present = set(state.present_region(memory, item).elements())
+                tracked = set(self._versions.get((memory, item), {}))
+                if present != tracked:
+                    missing = present ^ tracked
+                    raise CoherenceViolation(
+                        f"version tracking diverged from D for "
+                        f"{item.name!r} in {memory.name!r}: {missing!r}"
+                    )

@@ -1,0 +1,28 @@
+"""Simulated MPI-style SPMD substrate — the paper's comparison baseline.
+
+The paper ports each application to MPI "to provide a reference"; this
+package provides the equivalent over the same simulated cluster, so the
+AllScale-vs-MPI comparison in the benchmarks shares one cost model:
+
+``comm``
+    ranks (one per node, driving all its cores), point-to-point
+    send/recv with tag matching, and tree-based collectives (barrier,
+    broadcast, allreduce, alltoall) built on the simulated network;
+``halo``
+    halo-exchange planning and execution for block-decomposed grids;
+``program``
+    the SPMD job driver: spawn one rank coroutine per node, run to
+    completion, collect per-rank results.
+"""
+
+from repro.mpi.comm import Communicator, MpiWorld
+from repro.mpi.halo import HaloPlan, plan_halo_exchange
+from repro.mpi.program import run_spmd
+
+__all__ = [
+    "Communicator",
+    "MpiWorld",
+    "HaloPlan",
+    "plan_halo_exchange",
+    "run_spmd",
+]

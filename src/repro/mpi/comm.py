@@ -1,0 +1,233 @@
+"""Simulated MPI communicator.
+
+Point-to-point semantics follow MPI's matching rules (messages from one
+sender with one tag are consumed in order); data transport and timing go
+through the simulated network, so MPI baselines and the AllScale runtime
+pay identical latency/bandwidth/NIC costs.
+
+Collectives use the standard O(log P) algorithms:
+
+* ``barrier``     — dissemination;
+* ``bcast``       — binomial tree;
+* ``reduce``      — binomial tree (mirror of bcast);
+* ``allreduce``   — recursive doubling;
+* ``alltoall``    — pairwise exchange (P-1 rounds).
+
+Payloads carry an explicit byte count plus an optional Python value, so
+functional tests can move real data while benchmark codes move only bytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.sim.cluster import Cluster
+from repro.sim.engine import Future
+
+
+@dataclass
+class _Message:
+    nbytes: int
+    value: Any
+
+
+class MpiWorld:
+    """Shared mailbox state of one communicator group."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.size = cluster.num_nodes
+        # (dst, src, tag) -> queue of delivered messages
+        self._mailboxes: dict[tuple[int, int, int], deque[_Message]] = {}
+        # (dst, src, tag) -> queue of waiting receive futures
+        self._waiters: dict[tuple[int, int, int], deque[Future]] = {}
+
+    def communicator(self, rank: int) -> "Communicator":
+        return Communicator(self, rank)
+
+    def _deliver(self, dst: int, src: int, tag: int, message: _Message) -> None:
+        key = (dst, src, tag)
+        waiters = self._waiters.get(key)
+        if waiters:
+            waiters.popleft().complete(message)
+            if not waiters:
+                del self._waiters[key]
+        else:
+            self._mailboxes.setdefault(key, deque()).append(message)
+
+    def _receive(self, dst: int, src: int, tag: int) -> Future:
+        key = (dst, src, tag)
+        future = self.cluster.engine.future()
+        mailbox = self._mailboxes.get(key)
+        if mailbox:
+            future.complete(mailbox.popleft())
+            if not mailbox:
+                del self._mailboxes[key]
+        else:
+            self._waiters.setdefault(key, deque()).append(future)
+        return future
+
+
+class Communicator:
+    """One rank's view of the communicator (rank == node index)."""
+
+    def __init__(self, world: MpiWorld, rank: int) -> None:
+        if not (0 <= rank < world.size):
+            raise ValueError(f"rank {rank} out of range 0..{world.size - 1}")
+        self.world = world
+        self.rank = rank
+        self.node = world.cluster.nodes[rank]
+        self.network = world.cluster.network
+        self.engine = world.cluster.engine
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # -- point to point -----------------------------------------------------------
+
+    def isend(self, dst: int, nbytes: int, value: Any = None, tag: int = 0) -> Future:
+        """Non-blocking send; the future completes at delivery."""
+        message = _Message(nbytes, value)
+        transfer = self.network.send(self.rank, dst, nbytes)
+        done = self.engine.future()
+
+        def on_delivery(_: Any) -> None:
+            self.world._deliver(dst, self.rank, tag, message)
+            done.complete(None)
+
+        transfer.add_callback(on_delivery)
+        return done
+
+    def recv(self, src: int, tag: int = 0) -> Future:
+        """Future completing with the matched message's value."""
+        raw = self.world._receive(self.rank, src, tag)
+        out = self.engine.future()
+        raw.add_callback(lambda msg: out.complete(msg.value))
+        return out
+
+    def sendrecv(
+        self, dst: int, nbytes: int, value: Any = None, tag: int = 0
+    ) -> Generator:
+        """Simultaneous exchange with one peer (both directions)."""
+        self.isend(dst, nbytes, value, tag)
+        received = yield self.recv(dst, tag)
+        return received
+
+    # -- compute ---------------------------------------------------------------------
+
+    def compute(self, flops: float) -> Future:
+        """Run a node-wide parallel kernel of ``flops`` total work."""
+        return self.node.execute_parallel(
+            self.node.flops_to_seconds_parallel(flops)
+        )
+
+    def compute_seconds(self, seconds: float) -> Future:
+        return self.node.execute_parallel(seconds)
+
+    # -- collectives (generator helpers; drive with `yield from`) ----------------------
+
+    def barrier(self, tag: int = 900) -> Generator:
+        """Dissemination barrier: ⌈log₂P⌉ rounds of pairwise messages."""
+        size = self.size
+        if size == 1:
+            return
+        distance = 1
+        round_no = 0
+        while distance < size:
+            dst = (self.rank + distance) % size
+            src = (self.rank - distance) % size
+            self.isend(dst, 8, None, tag + round_no)
+            yield self.recv(src, tag + round_no)
+            distance *= 2
+            round_no += 1
+
+    def bcast(self, value: Any, nbytes: int, root: int = 0, tag: int = 910) -> Generator:
+        """Binomial-tree broadcast; returns the value on every rank."""
+        size = self.size
+        if size == 1:
+            return value
+        vrank = (self.rank - root) % size
+        # receive phase: a non-root rank gets the value from the partner at
+        # its lowest set bit (classic binomial tree)
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                src = (vrank - mask + root) % size
+                value = yield self.recv(src, tag)
+                break
+            mask <<= 1
+        # forward phase: fan out to partners below the receive bit
+        mask >>= 1
+        while mask >= 1:
+            if vrank + mask < size:
+                dst = (vrank + mask + root) % size
+                self.isend(dst, nbytes, value, tag)
+            mask >>= 1
+        return value
+
+    def allreduce(
+        self,
+        value: Any,
+        nbytes: int,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        tag: int = 920,
+    ) -> Generator:
+        """Recursive-doubling allreduce (power-of-two via folding)."""
+        size = self.size
+        if size == 1:
+            return value
+        # fold non-power-of-two remainder onto the lower half
+        pow2 = 1
+        while pow2 * 2 <= size:
+            pow2 *= 2
+        rem = size - pow2
+        if self.rank >= pow2:
+            self.isend(self.rank - pow2, nbytes, value, tag + 90)
+            value = yield self.recv(self.rank - pow2, tag + 91)
+            return value
+        if self.rank < rem:
+            other = yield self.recv(self.rank + pow2, tag + 90)
+            value = op(value, other)
+        distance = 1
+        round_no = 0
+        while distance < pow2:
+            partner = self.rank ^ distance
+            self.isend(partner, nbytes, value, tag + round_no)
+            other = yield self.recv(partner, tag + round_no)
+            value = op(value, other)
+            distance *= 2
+            round_no += 1
+        if self.rank < rem:
+            self.isend(self.rank + pow2, nbytes, value, tag + 91)
+        return value
+
+    def alltoall(
+        self,
+        payloads: list[tuple[int, Any]],
+        tag: int = 940,
+    ) -> Generator:
+        """Pairwise-exchange alltoall.
+
+        ``payloads[r]`` is ``(nbytes, value)`` destined for rank ``r``;
+        returns the list of values received, indexed by source rank.
+        """
+        size = self.size
+        if len(payloads) != size:
+            raise ValueError(
+                f"alltoall needs {size} payloads, got {len(payloads)}"
+            )
+        received: list[Any] = [None] * size
+        received[self.rank] = payloads[self.rank][1]
+        for shift in range(1, size):
+            dst = (self.rank + shift) % size
+            src = (self.rank - shift) % size
+            nbytes, value = payloads[dst]
+            self.isend(dst, max(1, nbytes), value, tag + shift)
+            received[src] = yield self.recv(src, tag + shift)
+        return received
+
+    def __repr__(self) -> str:
+        return f"Communicator(rank={self.rank}/{self.size})"

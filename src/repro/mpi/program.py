@@ -1,0 +1,39 @@
+"""SPMD job driver.
+
+``run_spmd`` launches one rank coroutine per cluster node and drives the
+event loop until every rank returns, collecting per-rank results — the
+``mpiexec -n P`` of the simulated world.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.mpi.comm import Communicator, MpiWorld
+from repro.sim.cluster import Cluster
+
+RankMain = Callable[..., Generator]
+
+
+def run_spmd(
+    cluster: Cluster, rank_main: RankMain, *args: Any, **kwargs: Any
+) -> list[Any]:
+    """Run ``rank_main(comm, *args, **kwargs)`` on every rank to completion.
+
+    Returns the list of per-rank return values (index = rank).  Raises if
+    any rank fails to finish (lost message / deadlock), identifying the
+    stuck ranks.
+    """
+    world = MpiWorld(cluster)
+    futures = []
+    for rank in range(world.size):
+        comm = world.communicator(rank)
+        futures.append(cluster.engine.spawn(rank_main(comm, *args, **kwargs)))
+    cluster.engine.run()
+    stuck = [rank for rank, f in enumerate(futures) if not f.done]
+    if stuck:
+        raise RuntimeError(
+            f"SPMD program did not terminate; stuck ranks: {stuck} "
+            "(unmatched receive or circular wait)"
+        )
+    return [f.value for f in futures]

@@ -1,0 +1,49 @@
+"""Region algebras for addressing subsets of data item elements.
+
+Definition 2.2 of the paper introduces *regions* as addressable subsets of a
+data item's elements.  Section 3.1 requires every concrete region type to be
+
+* closed under union, intersection, and set-difference,
+* efficient in space and time (no explicit element enumeration), and
+* expressive enough for the regions of interest of the algorithms that run
+  on the associated data structure.
+
+This package provides the region types shipped with the prototype
+implementation described in the paper (Fig. 4) plus a reference type:
+
+``ExplicitSetRegion``
+    explicit element enumeration; the semantic reference every other type is
+    property-tested against.
+``IntervalRegion``
+    sorted disjoint half-open 1-D intervals; building block for arrays.
+``BoxRegion`` / ``BoxSetRegion``
+    sets of axis-aligned N-dimensional boxes (Fig. 4a) — individual boxes are
+    not closed under union/difference, sets of them are.
+``TreeRegion``
+    flexible include/exclude sub-tree scheme for balanced binary trees
+    (Fig. 4b).
+``BlockedTreeRegion``
+    coarse-grained blocked scheme — one root tree of height ``h`` plus
+    ``2**h`` bottom sub-trees addressed through a bitmask (Fig. 4c).
+"""
+
+from repro.regions.base import Region, RegionMismatchError
+from repro.regions.explicit import ExplicitSetRegion
+from repro.regions.interval import Interval, IntervalRegion
+from repro.regions.box import Box, BoxSetRegion
+from repro.regions.tree import TreeGeometry, TreeRegion
+from repro.regions.blocked_tree import BlockedTreeGeometry, BlockedTreeRegion
+
+__all__ = [
+    "Region",
+    "RegionMismatchError",
+    "ExplicitSetRegion",
+    "Interval",
+    "IntervalRegion",
+    "Box",
+    "BoxSetRegion",
+    "TreeGeometry",
+    "TreeRegion",
+    "BlockedTreeGeometry",
+    "BlockedTreeRegion",
+]

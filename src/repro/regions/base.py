@@ -1,0 +1,103 @@
+"""Abstract region interface (Definition 2.2 / Section 3.1).
+
+A region addresses a finite subset of a data item's element addresses.  The
+paper requires region types to be closed under union, intersection and
+set-difference; this module pins that contract down as an abstract base
+class so the runtime (data item manager, hierarchical index, scheduler) can
+operate on any region type uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+
+class RegionMismatchError(TypeError):
+    """Raised when combining regions over incompatible element universes."""
+
+
+class Region(ABC):
+    """A finite, addressable subset of a data item's elements.
+
+    Subclasses must implement the three closure operations plus emptiness,
+    cardinality, enumeration, and membership.  Operators ``|``, ``&`` and
+    ``-`` are provided on top of them, and semantic (element-set) equality is
+    available through :meth:`same_elements` even when two instances use
+    different internal representations.
+    """
+
+    __slots__ = ()
+
+    # -- closure operations (Section 3.1 requirements) ---------------------
+
+    @abstractmethod
+    def union(self, other: "Region") -> "Region":
+        """Return the region addressing ``self ∪ other``."""
+
+    @abstractmethod
+    def intersect(self, other: "Region") -> "Region":
+        """Return the region addressing ``self ∩ other``."""
+
+    @abstractmethod
+    def difference(self, other: "Region") -> "Region":
+        """Return the region addressing ``self \\ other``."""
+
+    # -- cardinality and membership ----------------------------------------
+
+    @abstractmethod
+    def is_empty(self) -> bool:
+        """Return ``True`` iff the region addresses no element."""
+
+    @abstractmethod
+    def size(self) -> int:
+        """Return the number of addressed elements."""
+
+    @abstractmethod
+    def elements(self) -> Iterator[Any]:
+        """Enumerate the addressed element addresses.
+
+        May be expensive for large regions; intended for tests, debugging and
+        small functional fragments — the runtime itself never enumerates.
+        """
+
+    @abstractmethod
+    def contains(self, element: Any) -> bool:
+        """Return ``True`` iff ``element`` is addressed by this region."""
+
+    # -- derived conveniences ------------------------------------------------
+
+    def overlaps(self, other: "Region") -> bool:
+        """Return ``True`` iff the two regions share at least one element."""
+        return not self.intersect(other).is_empty()
+
+    def covers(self, other: "Region") -> bool:
+        """Return ``True`` iff every element of ``other`` is in ``self``."""
+        return other.difference(self).is_empty()
+
+    def same_elements(self, other: "Region") -> bool:
+        """Semantic equality: both regions address exactly the same set."""
+        return self.difference(other).is_empty() and other.difference(self).is_empty()
+
+    # -- operator sugar -------------------------------------------------------
+
+    def __or__(self, other: "Region") -> "Region":
+        return self.union(other)
+
+    def __and__(self, other: "Region") -> "Region":
+        return self.intersect(other)
+
+    def __sub__(self, other: "Region") -> "Region":
+        return self.difference(other)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.elements()
+
+    def __contains__(self, element: Any) -> bool:
+        return self.contains(element)

@@ -1,0 +1,221 @@
+"""1-D interval-set regions.
+
+An :class:`IntervalRegion` is a sorted list of disjoint, non-adjacent,
+half-open integer intervals ``[lo, hi)``.  It addresses elements of 1-D
+arrays and is also the per-axis building block used by the N-dimensional
+box-set regions of :mod:`repro.regions.box`.
+
+All three closure operations run in ``O(n + m)`` over the interval counts of
+the operands, and the representation is canonical: two regions address the
+same element set iff their interval lists are identical, so ``==`` is both
+cheap and semantic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.regions.base import Region, RegionMismatchError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open integer interval ``[lo, hi)``; empty iff ``lo >= hi``."""
+
+    lo: int
+    hi: int
+
+    def is_empty(self) -> bool:
+        return self.lo >= self.hi
+
+    def size(self) -> int:
+        return max(0, self.hi - self.lo)
+
+    def contains(self, point: int) -> bool:
+        return self.lo <= point < self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo},{self.hi})"
+
+
+def _normalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort, drop empties, and merge overlapping/adjacent intervals."""
+    pending = sorted(i for i in intervals if not i.is_empty())
+    merged: list[Interval] = []
+    for iv in pending:
+        if merged and iv.lo <= merged[-1].hi:
+            last = merged[-1]
+            if iv.hi > last.hi:
+                merged[-1] = Interval(last.lo, iv.hi)
+        else:
+            merged.append(iv)
+    return tuple(merged)
+
+
+class IntervalRegion(Region):
+    """Canonical union of disjoint half-open integer intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval | tuple[int, int]] = ()) -> None:
+        coerced = [
+            iv if isinstance(iv, Interval) else Interval(int(iv[0]), int(iv[1]))
+            for iv in intervals
+        ]
+        self._intervals = _normalize(coerced)
+
+    @classmethod
+    def empty(cls) -> "IntervalRegion":
+        return cls(())
+
+    @classmethod
+    def span(cls, lo: int, hi: int) -> "IntervalRegion":
+        """Region addressing the contiguous range ``[lo, hi)``."""
+        return cls(((lo, hi),))
+
+    @classmethod
+    def of_points(cls, points: Iterable[int]) -> "IntervalRegion":
+        return cls((p, p + 1) for p in points)
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        return self._intervals
+
+    def bounds(self) -> Interval | None:
+        """Smallest single interval covering the region, or ``None`` if empty."""
+        if not self._intervals:
+            return None
+        return Interval(self._intervals[0].lo, self._intervals[-1].hi)
+
+    # -- closure operations ---------------------------------------------------
+
+    def _coerce(self, other: Region) -> "IntervalRegion":
+        if isinstance(other, IntervalRegion):
+            return other
+        raise RegionMismatchError(
+            f"cannot combine IntervalRegion with {type(other).__name__}"
+        )
+
+    def union(self, other: Region) -> "IntervalRegion":
+        other = self._coerce(other)
+        return IntervalRegion(self._intervals + other._intervals)
+
+    def intersect(self, other: Region) -> "IntervalRegion":
+        other = self._coerce(other)
+        result: list[Interval] = []
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            cut = a[i].intersect(b[j])
+            if not cut.is_empty():
+                result.append(cut)
+            # advance whichever interval ends first
+            if a[i].hi <= b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return IntervalRegion(result)
+
+    def difference(self, other: Region) -> "IntervalRegion":
+        other = self._coerce(other)
+        result: list[Interval] = []
+        b = other._intervals
+        j = 0
+        for iv in self._intervals:
+            lo = iv.lo
+            while j < len(b) and b[j].hi <= lo:
+                j += 1
+            k = j
+            while k < len(b) and b[k].lo < iv.hi:
+                if b[k].lo > lo:
+                    result.append(Interval(lo, b[k].lo))
+                lo = max(lo, b[k].hi)
+                if lo >= iv.hi:
+                    break
+                k += 1
+            if lo < iv.hi:
+                result.append(Interval(lo, iv.hi))
+        return IntervalRegion(result)
+
+    # -- cardinality and membership ------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    def size(self) -> int:
+        return sum(iv.size() for iv in self._intervals)
+
+    def elements(self) -> Iterator[int]:
+        for iv in self._intervals:
+            yield from range(iv.lo, iv.hi)
+
+    def contains(self, element: Any) -> bool:
+        if not isinstance(element, int):
+            return False
+        # binary search over the sorted disjoint intervals
+        lo, hi = 0, len(self._intervals)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            iv = self._intervals[mid]
+            if element < iv.lo:
+                hi = mid
+            elif element >= iv.hi:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    # -- value semantics --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalRegion):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        return f"IntervalRegion({list(self._intervals)!r})"
+
+
+def split_interval_region(region: IntervalRegion, parts: int) -> list[IntervalRegion]:
+    """Split ``region`` into ``parts`` contiguous chunks of near-equal size.
+
+    Used by the runtime when spreading a 1-D data item across processes.
+    Chunks are returned in address order; some may be empty when the region
+    holds fewer elements than ``parts``.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    total = region.size()
+    targets = [(total * (k + 1)) // parts for k in range(parts)]
+    chunks: list[IntervalRegion] = []
+    acc: list[Interval] = []
+    seen = 0
+    t = 0
+    for iv in region.intervals:
+        lo = iv.lo
+        while lo < iv.hi:
+            want = targets[t] - seen
+            take = min(want, iv.hi - lo)
+            if take > 0:
+                acc.append(Interval(lo, lo + take))
+                seen += take
+                lo += take
+            if seen == targets[t]:
+                chunks.append(IntervalRegion(acc))
+                acc = []
+                t += 1
+    while t < parts:
+        chunks.append(IntervalRegion(acc))
+        acc = []
+        t += 1
+    return chunks

@@ -1,0 +1,47 @@
+"""The AllScale runtime system (paper §3.2), on the simulated cluster.
+
+This is the *implementation level* of the application model: one runtime
+process per cluster node, each owning
+
+* a **data item manager** holding fragments, tracking owned regions and
+  read replicas, and performing resize/import/export operations
+  (:mod:`repro.runtime.data_manager`);
+* a **lock table** for region-granular read/write locks
+  (:mod:`repro.runtime.locks`);
+* its share of the **hierarchical distributed storage index** of Fig. 5,
+  with the region location resolution procedure of Algorithm 1
+  (:mod:`repro.runtime.index`);
+* a **task queue and worker pool** executing tasks on the simulated cores
+  (:mod:`repro.runtime.process`).
+
+Task distribution follows Algorithm 2 (:mod:`repro.runtime.scheduler`)
+under a pluggable scheduling policy (:mod:`repro.runtime.policies`).
+Monitoring (:mod:`repro.runtime.monitoring`), checkpoint/restart
+(:mod:`repro.runtime.resilience`) and data-migration-driven load balancing
+(:mod:`repro.runtime.balancer`) are the higher-level services the model
+enables.
+
+Entry point: :class:`repro.runtime.runtime.AllScaleRuntime`.
+"""
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.tasks import TaskSpec, Treeture, TaskExecutionContext
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.policies import (
+    DataAwarePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+)
+
+__all__ = [
+    "RuntimeConfig",
+    "TaskSpec",
+    "Treeture",
+    "TaskExecutionContext",
+    "AllScaleRuntime",
+    "SchedulingPolicy",
+    "DataAwarePolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+]

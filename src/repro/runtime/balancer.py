@@ -1,0 +1,165 @@
+"""Inter-node load balancing through data migration (paper §3.2, §6).
+
+The model's key enabler: because the runtime controls data placement, and
+because the scheduler sends tasks to the data (Algorithm 2), *moving data
+moves load*.  The balancer periodically samples per-process load, and when
+the imbalance exceeds a threshold it migrates a slice of the busiest
+process's owned region to the least-loaded process — "which will
+implicitly lead to the redirection of future tasks to the newly designated
+localities" (§3.2).
+
+Slices are carved from box-set and interval regions (the grid-like items
+where load imbalance arises in practice); items with other region schemes
+are left alone.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.items.base import DataItem
+from repro.regions.base import Region
+from repro.regions.box import Box, BoxSetRegion
+from repro.regions.interval import IntervalRegion, split_interval_region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import AllScaleRuntime
+
+
+def take_slice(region: Region, fraction: float) -> Region | None:
+    """Carve roughly ``fraction`` of ``region`` off as a contiguous slice.
+
+    Returns ``None`` for region types without a slicing strategy or when
+    the region is too small to split.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    if isinstance(region, BoxSetRegion):
+        if region.is_empty():
+            return None
+        target = max(1, int(region.size() * fraction))
+        taken: list[Box] = []
+        got = 0
+        for box in sorted(region.boxes, key=lambda b: (-b.size(), b.lo)):
+            if got >= target:
+                break
+            if box.size() <= target - got:
+                taken.append(box)
+                got += box.size()
+                continue
+            widths = box.widths()
+            axis = max(range(len(widths)), key=widths.__getitem__)
+            want_rows = max(1, (target - got) * widths[axis] // box.size())
+            if want_rows >= widths[axis]:
+                taken.append(box)
+                got += box.size()
+            else:
+                piece, _rest = box.split(axis, box.lo[axis] + want_rows)
+                taken.append(piece)
+                got += piece.size()
+        result = BoxSetRegion(taken)
+        if result.is_empty() or result.size() >= region.size():
+            return None
+        return result
+    if isinstance(region, IntervalRegion):
+        if region.size() < 2:
+            return None
+        parts = max(2, round(1.0 / fraction))
+        chunks = split_interval_region(region, parts)
+        return chunks[0] if not chunks[0].is_empty() else None
+    return None
+
+
+class LoadBalancer:
+    """Periodic data-migration-based load balancing."""
+
+    def __init__(
+        self,
+        runtime: "AllScaleRuntime",
+        interval: float = 0.05,
+        imbalance_threshold: float = 1.5,
+        slice_fraction: float | None = None,
+    ) -> None:
+        """``slice_fraction=None`` (default) sizes each migration
+        adaptively — enough to bring the busiest node down to the mean —
+        which converges instead of oscillating; a fixed fraction is mostly
+        useful for tests."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if imbalance_threshold <= 1.0:
+            raise ValueError("imbalance_threshold must exceed 1.0")
+        self.runtime = runtime
+        self.interval = interval
+        self.imbalance_threshold = imbalance_threshold
+        self.slice_fraction = slice_fraction
+        self.rebalances = 0
+        self._last_busy = [0.0] * runtime.num_processes
+        self._running = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic balancing (runs while the event loop is driven)."""
+        if not self._running:
+            self._running = True
+            self.runtime.engine.spawn(self._loop())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self) -> Generator:
+        while self._running:
+            yield self.interval
+            yield from self.rebalance_once()
+
+    # -- one balancing round -------------------------------------------------------
+
+    def measured_load(self) -> list[float]:
+        """Core-busy seconds per process since the previous sample.
+
+        Busy time (not task counts) is the signal: equal task counts with
+        unequal task costs are exactly the imbalance the balancer must
+        detect.
+        """
+        current = [p.node._busy_time for p in self.runtime.processes]
+        delta = [c - last for c, last in zip(current, self._last_busy)]
+        self._last_busy = current
+        return delta
+
+    def rebalance_once(self) -> Generator:
+        """Migrate one slice from the busiest to the idlest process if the
+        imbalance warrants it.  Returns whether a migration happened."""
+        runtime = self.runtime
+        if runtime.num_processes < 2:
+            return False
+        load = self.measured_load()
+        busiest = max(range(len(load)), key=load.__getitem__)
+        idlest = min(range(len(load)), key=load.__getitem__)
+        mean = sum(load) / len(load)
+        if mean <= 0 or load[busiest] < self.imbalance_threshold * mean:
+            return False
+        if self.slice_fraction is not None:
+            fraction = self.slice_fraction
+        else:
+            # shed exactly the excess over the mean (converges; a fixed
+            # fraction oscillates between the busiest and idlest nodes)
+            excess = (load[busiest] - mean) / load[busiest]
+            fraction = min(0.5, max(0.05, excess))
+        source = runtime.process(busiest).data_manager
+        moved = False
+        # shed the same fraction of *every* item: co-located items (e.g. a
+        # stencil's two buffers) must move together, or tasks writing the
+        # stay-behind buffer keep landing on the overloaded node
+        for item in sorted(source.fragments, key=lambda i: i.name):
+            owned = source.owned_region(item)
+            piece = take_slice(owned, fraction) if not owned.is_empty() else None
+            if piece is None:
+                continue
+            yield from runtime.process(idlest).data_manager._migrate_in(
+                item, piece, busiest
+            )
+            runtime.metrics.incr("balancer.migrations")
+            moved = True
+        if moved:
+            self.rebalances += 1
+        return moved

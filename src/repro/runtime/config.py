@@ -1,0 +1,67 @@
+"""Runtime cost-model and behaviour configuration.
+
+The time constants approximate an HPX-class task runtime: single-digit
+microsecond task overheads and sub-microsecond bookkeeping.  They matter
+most for the TPC benchmark, where per-task overheads and small control
+messages dominate; for stencil/iPiC3D the compute and halo terms dominate
+and these knobs are second-order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of the AllScale runtime prototype."""
+
+    # -- task machinery ------------------------------------------------------
+    #: core time to create/enqueue a task locally (allocation, queue ops)
+    task_spawn_overhead: float = 1.5e-6
+    #: core time to begin executing a dequeued task (dequeue, requirement check)
+    task_start_overhead: float = 0.8e-6
+    #: wire size of a task closure shipped to another process
+    task_message_bytes: int = 512
+    #: CPU time per *remote* task transfer at each end (closure
+    #: serialization, parcel handling) — an HPX-prototype-class cost; it is
+    #: what makes fine-grained remote tasks expensive (the paper's TPC
+    #: observation)
+    remote_task_cpu_overhead: float = 25e-6
+    #: wire size of a task-completion notification
+    completion_message_bytes: int = 64
+
+    # -- data item manager -----------------------------------------------------
+    #: wire size of a data request / index control message
+    control_message_bytes: int = 96
+    #: core time for fragment resize/import/export bookkeeping per operation
+    fragment_op_overhead: float = 0.6e-6
+    #: whether fragments materialize values (False = virtual, benchmark mode)
+    functional: bool = True
+    #: cache Algorithm-1 lookup results at their origin, invalidated by
+    #: ownership version (an extension along §6's "closing the performance
+    #: gap"; off by default to match the paper's prototype)
+    index_caching: bool = False
+
+    # -- scheduling policy -------------------------------------------------------
+    #: target number of leaf tasks per core (oversubscription factor)
+    oversubscription: int = 4
+    #: never split tasks below this many elements/iterations
+    min_task_size: float = 1.0
+    #: enable idle-time work stealing between processes
+    work_stealing: bool = False
+    #: seed for any randomized policy decisions
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.oversubscription < 1:
+            raise ValueError("oversubscription must be >= 1")
+        if self.min_task_size < 1:
+            raise ValueError("min_task_size must be >= 1")
+        for name in (
+            "task_spawn_overhead",
+            "task_start_overhead",
+            "fragment_op_overhead",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")

@@ -1,0 +1,339 @@
+"""The data item manager (paper §3.2).
+
+One manager per runtime process.  It maintains the process's fragments,
+tracks which region of each item the process *owns* (the authoritative
+copy, registered in the hierarchical index) versus merely *replicates*
+(read-only halo data), and implements the data movement a task's
+requirements demand before it may start:
+
+* **allocate** — the *(init)* rule: first-touch allocation of data present
+  nowhere;
+* **migrate in** — the *(migrate)* rule: ownership (and the bytes) move
+  from another process; blocked while the source holds any lock on the
+  region, exactly as the formal guard requires;
+* **replicate in** — the *(replicate)* rule: a read-only copy is fetched;
+  blocked only by the source's *write* locks;
+* **replica invalidation** — enforcing the start rule's ``D ∩ Dw = ∅``
+  premise (and thereby the exclusive-writes property): before a write
+  executes, all remote replicas of the written region are dropped.
+
+All message sizes and bookkeeping costs go through the simulated network
+and node cores, so data management overhead shows up in benchmark time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.items.base import DataItem, Fragment, FragmentPayload
+from repro.regions.base import Region
+from repro.runtime.tasks import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.process import RuntimeProcess
+
+
+class DataItemManager:
+    """Fragments, ownership, and replicas of one address space."""
+
+    def __init__(self, process: "RuntimeProcess") -> None:
+        self.process = process
+        self.fragments: dict[DataItem, Fragment] = {}
+        self.owned: dict[DataItem, Region] = {}
+        # regions whose ownership already arrived here but whose bytes are
+        # still on the wire; tasks must not touch them until they land
+        self._in_flight: dict[DataItem, Region] = {}
+        self._in_flight_waiters: list = []
+
+    # -- basic views --------------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def fragment(self, item: DataItem) -> Fragment:
+        fragment = self.fragments.get(item)
+        if fragment is None:
+            fragment = item.new_fragment(
+                item.empty_region(),
+                functional=self.process.runtime.config.functional,
+            )
+            self.fragments[item] = fragment
+        return fragment
+
+    def owned_region(self, item: DataItem) -> Region:
+        return self.owned.get(item, item.empty_region())
+
+    def present_region(self, item: DataItem) -> Region:
+        return self.fragment(item).region
+
+    def replica_region(self, item: DataItem) -> Region:
+        return self.present_region(item).difference(self.owned_region(item))
+
+    def in_flight_region(self, item: DataItem) -> Region:
+        region = self._in_flight.get(item)
+        return region if region is not None else item.empty_region()
+
+    def _mark_in_flight(self, item: DataItem, region: Region) -> None:
+        self._in_flight[item] = self.in_flight_region(item).union(region)
+
+    def _clear_in_flight(self, item: DataItem, region: Region) -> None:
+        remaining = self.in_flight_region(item).difference(region)
+        if remaining.is_empty():
+            self._in_flight.pop(item, None)
+        else:
+            self._in_flight[item] = remaining
+        waiters, self._in_flight_waiters = self._in_flight_waiters, []
+        for waiter in waiters:
+            waiter.complete(None)
+
+    def _in_flight_change(self):
+        future = self.process.runtime.engine.future()
+        self._in_flight_waiters.append(future)
+        return future
+
+    # -- ownership changes (synchronous bookkeeping) --------------------------------
+
+    def allocate(self, item: DataItem, region: Region) -> None:
+        """First-touch allocation — the *(init)* transition.
+
+        Atomic claim: whatever became owned anywhere since the caller's
+        lookup is excluded synchronously (the index root cover is the
+        global ownership union, maintained without yields), so concurrent
+        first touches can never create overlapping ownership.
+        """
+        if region.is_empty():
+            return
+        runtime = self.process.runtime
+        index = runtime.index
+        global_cover = index.covered(item, index.levels, 0).difference(
+            self.owned_region(item)
+        )
+        region = region.difference(global_cover)
+        if region.is_empty():
+            return
+        fragment = self.fragment(item)
+        grown = fragment.region.union(region)
+        added_bytes = item.region_bytes(region.difference(fragment.region))
+        fragment.resize(grown)
+        self.process.node.allocate(added_bytes)
+        self.owned[item] = self.owned_region(item).union(region)
+        runtime.index.update_ownership(item, self.pid, self.owned[item])
+        runtime.metrics.incr("dm.allocations")
+        runtime.metrics.incr("dm.allocated_bytes", added_bytes)
+
+    def export_owned(self, item: DataItem, region: Region) -> FragmentPayload:
+        """Cut owned data out for a migration; caller charges the transfer."""
+        runtime = self.process.runtime
+        part = self.owned_region(item).intersect(region)
+        fragment = self.fragment(item)
+        payload = fragment.extract(part)
+        fragment.resize(fragment.region.difference(part))
+        self.process.node.free(item.region_bytes(part))
+        self.owned[item] = self.owned_region(item).difference(part)
+        runtime.index.update_ownership(item, self.pid, self.owned[item])
+        runtime.metrics.incr("dm.exports")
+        return payload
+
+    def import_owned(self, item: DataItem, payload: FragmentPayload) -> None:
+        """Splice migrated-in data; ownership follows the data."""
+        runtime = self.process.runtime
+        fragment = self.fragment(item)
+        added = payload.region.difference(fragment.region)
+        fragment.insert(payload)
+        self.process.node.allocate(item.region_bytes(added))
+        self.owned[item] = self.owned_region(item).union(payload.region)
+        # data this process previously held as a replica is now owned here
+        runtime.unregister_replica(item, self.pid, payload.region)
+        runtime.index.update_ownership(item, self.pid, self.owned[item])
+        runtime.metrics.incr("dm.imports")
+
+    def insert_replica(self, item: DataItem, payload: FragmentPayload) -> None:
+        """Splice replicated (read-only) data; ownership unchanged."""
+        runtime = self.process.runtime
+        fragment = self.fragment(item)
+        added = payload.region.difference(fragment.region)
+        fragment.insert(payload)
+        self.process.node.allocate(item.region_bytes(added))
+        runtime.register_replica(item, self.pid, payload.region)
+        runtime.metrics.incr("dm.replicas_fetched")
+
+    def drop_replica(self, item: DataItem, region: Region) -> None:
+        """Invalidate local replicated data (never touches owned data)."""
+        victim = self.replica_region(item).intersect(region)
+        if victim.is_empty():
+            return
+        fragment = self.fragment(item)
+        fragment.resize(fragment.region.difference(victim))
+        self.process.node.free(item.region_bytes(victim))
+        self.process.runtime.unregister_replica(item, self.pid, victim)
+        self.process.runtime.metrics.incr("dm.replicas_dropped")
+
+    # -- requirement satisfaction (simulation processes) --------------------------------
+
+    def ensure_for_task(self, task: TaskSpec) -> Generator:
+        """Bring all data ``task`` requires into this address space.
+
+        The write set ends up owned here exclusively; the read set is at
+        least replicated here.  Drives migrations, replications, replica
+        invalidations and allocations; completes when the *start* rule's
+        data premises hold locally.
+        """
+        runtime = self.process.runtime
+        for item in sorted(task.accessed_items(), key=lambda i: i.name):
+            write = task.write_region(item)
+            if not write.is_empty():
+                yield from self._acquire_ownership(item, write)
+                # exclusive writes: no replicas of the write set elsewhere
+                yield from runtime.invalidate_replicas(item, write, self.pid)
+            read = task.read_region(item)
+            missing = read.difference(self.present_region(item))
+            if not missing.is_empty():
+                yield from self._fetch_replicas(item, missing)
+            # data whose ownership arrived but whose bytes are still on
+            # the wire is not usable yet
+            accessed = task.accessed_region(item)
+            while self.in_flight_region(item).overlaps(accessed):
+                yield self._in_flight_change()
+
+    def _acquire_ownership(self, item: DataItem, region: Region) -> Generator:
+        runtime = self.process.runtime
+        cfg = runtime.config
+        for _attempt in range(8):
+            missing = region.difference(self.owned_region(item))
+            if missing.is_empty():
+                return
+            mapping, unresolved = yield from runtime.index.lookup(
+                item, missing, self.pid
+            )
+            for part, owner in mapping:
+                if owner == self.pid:
+                    # owned locally but not recorded? (lost race) — re-check
+                    continue
+                yield from self._migrate_in(item, part, owner)
+            if not unresolved.is_empty():
+                # present nowhere: first-touch allocation (init rule).
+                # Allocate at fragment granularity — the whole not-yet-
+                # initialized part of this process's home block — so the
+                # initialization phase produces one big fragment per
+                # process instead of one sliver per task.
+                grab = unresolved
+                homes = runtime.home_map(item)
+                if homes is not None:
+                    top = runtime.index.covered(
+                        item, runtime.index.levels, 0
+                    )
+                    uninitialized = homes[self.pid].difference(top)
+                    grab = grab.union(uninitialized)
+                yield self.process.node.execute(cfg.fragment_op_overhead)
+                self.allocate(item, grab)
+        missing = region.difference(self.owned_region(item))
+        if not missing.is_empty():
+            raise RuntimeError(
+                f"process {self.pid} could not acquire ownership of "
+                f"{missing.size()} write elements of {item.name!r} after "
+                "repeated attempts (ownership thrashing?)"
+            )
+
+    def _migrate_in(self, item: DataItem, region: Region, src: int) -> Generator:
+        """One migration transfer: request, wait for locks, move bytes.
+
+        Ownership is handed over *atomically* at export time (before the
+        bytes travel), so no element is ever owned by nobody — a window in
+        which a concurrent first touch could re-allocate it.  The region
+        is marked in flight at the destination until the payload lands;
+        tasks and replica fetches wait on that marker.
+        """
+        runtime = self.process.runtime
+        cfg = runtime.config
+        network = runtime.network
+        peer = runtime.process(src)
+        yield network.send(self.pid, src, cfg.control_message_bytes)
+        # (migrate) guard: no locks at the source on the moving region,
+        # and the source must actually hold the bytes (not in flight)
+        while peer.locks.any_locked(item, region):
+            yield peer.locks.wait_for_change()
+        while peer.data_manager.in_flight_region(item).overlaps(region):
+            yield peer.data_manager._in_flight_change()
+        part = peer.data_manager.owned_region(item).intersect(region)
+        if part.is_empty():
+            return  # someone else migrated it away meanwhile
+        yield peer.node.execute(cfg.fragment_op_overhead)
+        payload = peer.data_manager.export_owned(item, part)
+        # atomic handover: ownership (and the index) move now
+        self.owned[item] = self.owned_region(item).union(payload.region)
+        runtime.unregister_replica(item, self.pid, payload.region)
+        runtime.index.update_ownership(item, self.pid, self.owned[item])
+        self._mark_in_flight(item, payload.region)
+        try:
+            yield network.send(src, self.pid, max(1, payload.nbytes))
+            yield self.process.node.execute(cfg.fragment_op_overhead)
+            self._store_payload(item, payload)
+        finally:
+            self._clear_in_flight(item, payload.region)
+        runtime.metrics.incr("dm.migrations")
+        runtime.metrics.incr("dm.migrated_bytes", payload.nbytes)
+
+    def _store_payload(self, item: DataItem, payload: FragmentPayload) -> None:
+        """Splice arrived bytes into the fragment (ownership already here)."""
+        fragment = self.fragment(item)
+        added = payload.region.difference(fragment.region)
+        fragment.insert(payload)
+        self.process.node.allocate(item.region_bytes(added))
+        self.process.runtime.metrics.incr("dm.imports")
+
+    def _fetch_replicas(self, item: DataItem, missing: Region) -> Generator:
+        runtime = self.process.runtime
+        cfg = runtime.config
+        network = runtime.network
+        for _attempt in range(5):
+            missing = missing.difference(self.present_region(item))
+            if missing.is_empty():
+                return
+            mapping, unresolved = yield from runtime.index.lookup(
+                item, missing, self.pid
+            )
+            for part, owner in mapping:
+                if owner == self.pid:
+                    continue
+                peer = runtime.process(owner)
+                yield network.send(self.pid, owner, cfg.control_message_bytes)
+                # (replicate) guard: no *write* locks at the source, and the
+                # source's bytes must have physically arrived
+                while peer.locks.write_locked(item, part):
+                    yield peer.locks.wait_for_change()
+                while peer.data_manager.in_flight_region(item).overlaps(part):
+                    yield peer.data_manager._in_flight_change()
+                # the data may have moved away while we waited; take what
+                # is still there and retry for the rest
+                part = part.intersect(
+                    peer.data_manager.present_region(item)
+                )
+                if part.is_empty():
+                    continue
+                yield peer.node.execute(cfg.fragment_op_overhead)
+                payload = peer.data_manager.fragment(item).extract(part)
+                yield network.send(owner, self.pid, max(1, payload.nbytes))
+                yield self.process.node.execute(cfg.fragment_op_overhead)
+                self.insert_replica(item, payload)
+                runtime.metrics.incr("dm.replicated_bytes", payload.nbytes)
+            if not unresolved.is_empty():
+                # reading data never written nor initialized: surface it as
+                # a zero-initialized first touch.  allocate() claims
+                # atomically; anything claimed elsewhere meanwhile is
+                # re-fetched on the next attempt.
+                yield self.process.node.execute(cfg.fragment_op_overhead)
+                self.allocate(item, unresolved)
+                runtime.metrics.incr("dm.uninitialized_reads")
+        missing = missing.difference(self.present_region(item))
+        if not missing.is_empty():
+            raise RuntimeError(
+                f"process {self.pid} could not materialize "
+                f"{missing.size()} read elements of {item.name!r} after "
+                "repeated attempts (ownership thrashing?)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DataItemManager(pid={self.pid}, items={len(self.fragments)})"
+        )

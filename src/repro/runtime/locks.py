@@ -1,0 +1,119 @@
+"""Region-granular read/write lock table (per process).
+
+Implements the ``Lr`` / ``Lw`` bookkeeping of the model at the
+implementation level: a task acquires read locks on its read regions and
+write locks on its write regions before executing, holds them for the
+duration (satisfied-requirements property), and releases them on
+completion (rule *end*).
+
+Unlike the specification level — where overlapping write locks are not
+formally excluded (see the faithfulness notes in
+:mod:`repro.model.transitions`) — the implementation enforces
+reader/writer exclusion per element: writers conflict with any overlapping
+lock, readers only with overlapping writers.  Conflicting acquisitions
+queue on a future and are retried in FIFO order as locks drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.items.base import DataItem
+from repro.regions.base import Region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Future, SimEngine
+
+
+@dataclass
+class _Hold:
+    owner: object
+    item: DataItem
+    region: Region
+    write: bool
+
+
+class LockTable:
+    """All locks held within one address space."""
+
+    def __init__(self, engine: "SimEngine") -> None:
+        self.engine = engine
+        self._holds: list[_Hold] = []
+        self._waiters: list["Future"] = []
+
+    # -- queries -------------------------------------------------------------------
+
+    def write_locked(self, item: DataItem, region: Region) -> bool:
+        return any(
+            h.write and h.item is item and h.region.overlaps(region)
+            for h in self._holds
+        )
+
+    def any_locked(self, item: DataItem, region: Region) -> bool:
+        return any(
+            h.item is item and h.region.overlaps(region) for h in self._holds
+        )
+
+    def conflicts(
+        self,
+        reads: dict[DataItem, Region],
+        writes: dict[DataItem, Region],
+    ) -> bool:
+        """Would acquiring these locks conflict with current holders?"""
+        for item, region in writes.items():
+            if not region.is_empty() and self.any_locked(item, region):
+                return True
+        for item, region in reads.items():
+            if not region.is_empty() and self.write_locked(item, region):
+                return True
+        return False
+
+    # -- acquisition --------------------------------------------------------------
+
+    def try_acquire(
+        self,
+        owner: object,
+        reads: dict[DataItem, Region],
+        writes: dict[DataItem, Region],
+    ) -> bool:
+        """Atomically acquire all locks, or none."""
+        if self.conflicts(reads, writes):
+            return False
+        for item, region in writes.items():
+            if not region.is_empty():
+                self._holds.append(_Hold(owner, item, region, write=True))
+        for item, region in reads.items():
+            if not region.is_empty():
+                # read∩write overlap within one task is covered by its own
+                # write lock; lock only the read-exclusive part
+                effective = region.difference(
+                    writes.get(item, item.empty_region())
+                )
+                if not effective.is_empty():
+                    self._holds.append(
+                        _Hold(owner, item, effective, write=False)
+                    )
+        return True
+
+    def release(self, owner: object) -> None:
+        """Drop all locks of ``owner`` and wake queued waiters."""
+        before = len(self._holds)
+        self._holds = [h for h in self._holds if h.owner is not owner]
+        if len(self._holds) != before and self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for waiter in waiters:
+                waiter.complete(None)
+
+    def wait_for_change(self) -> "Future":
+        """Future completing the next time any locks are released."""
+        future = self.engine.future()
+        self._waiters.append(future)
+        return future
+
+    @property
+    def active_holds(self) -> int:
+        return len(self._holds)
+
+    def __repr__(self) -> str:
+        return f"LockTable({len(self._holds)} holds, {len(self._waiters)} waiting)"

@@ -1,0 +1,166 @@
+"""Scheduling policies (paper §3.2, Algorithm 2 lines 3 and 12).
+
+The customizable scheduling policy makes two decisions per task:
+
+* ``pick_variant`` — run the task's sequential (leaf) variant or its
+  parallel (split) variant, based on granularity;
+* ``pick_target`` — where to place a task whose data requirements no
+  single process covers, which is what spreads work (and therefore data)
+  across the system during the initialization phase.
+
+The default :class:`DataAwarePolicy` targets the process owning the
+largest share of the task's write set (falling back to the read set),
+and — for data present nowhere — derives an even-spreading *home hint*
+from the data item's structural decomposition, which is exactly how the
+paper's policy achieves an even initial distribution.  Round-robin and
+random policies exist for the scheduler ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.items.base import DataItem
+from repro.regions.base import Region
+from repro.runtime.tasks import TaskSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import AllScaleRuntime
+
+
+@dataclass
+class PlacementContext:
+    """Everything the policy may consult when placing one task."""
+
+    runtime: "AllScaleRuntime"
+    origin: int
+    #: (region_part, owner) pairs from the scheduler's index lookup,
+    #: per accessed item
+    lookup: dict[DataItem, list[tuple[Region, int]]] = field(
+        default_factory=dict
+    )
+
+
+class SchedulingPolicy(ABC):
+    """Variant selection and task placement strategy."""
+
+    @abstractmethod
+    def pick_variant(self, task: TaskSpec, runtime: "AllScaleRuntime") -> str:
+        """Return ``"split"`` or ``"leaf"`` (Algorithm 2, line 3)."""
+
+    @abstractmethod
+    def pick_target(self, task: TaskSpec, ctx: PlacementContext) -> int:
+        """Return the process id to enqueue at (Algorithm 2, line 12)."""
+
+    # -- shared granularity logic ------------------------------------------------
+
+    def _should_split(self, task: TaskSpec, runtime: "AllScaleRuntime") -> bool:
+        if not task.splittable:
+            return False
+        cfg = runtime.config
+        granularity = task.granularity
+        if granularity is None:
+            granularity = cfg.min_task_size
+        return task.size_hint > max(granularity, cfg.min_task_size)
+
+    def _should_offload(self, task: TaskSpec, runtime: "AllScaleRuntime") -> bool:
+        """Pick the GPU variant when the device beats a CPU core end to end.
+
+        The variant-selection freedom of Definition 2.3 / Example 2.3: a
+        task offering a device implementation runs it only where the
+        transfer + launch costs are amortized.
+        """
+        if task.gpu_flops is None:
+            return False
+        spec = runtime.cluster.spec
+        if spec.gpus_per_node < 1:
+            return False
+        device = runtime.cluster.accelerators[0][0].spec
+        nbytes = task.transfer_bytes()
+        gpu_time = (
+            2 * device.link_latency
+            + nbytes / device.link_bandwidth
+            + device.launch_overhead
+            + task.gpu_flops / device.flops
+        )
+        cpu_time = task.flops / spec.flops_per_core
+        return gpu_time < cpu_time
+
+
+class DataAwarePolicy(SchedulingPolicy):
+    """Default policy: follow the data; spread evenly on first touch."""
+
+    def pick_variant(self, task: TaskSpec, runtime: "AllScaleRuntime") -> str:
+        if self._should_split(task, runtime):
+            return "split"
+        if self._should_offload(task, runtime):
+            return "gpu"
+        return "leaf"
+
+    def pick_target(self, task: TaskSpec, ctx: PlacementContext) -> int:
+        runtime = ctx.runtime
+        # 1. the process owning the largest share of the write set (then
+        #    the read set) — keeps tasks near their data
+        shares: dict[int, float] = {}
+        for item in task.accessed_items():
+            weight = 4.0 if item in task.writes else 1.0
+            wanted = task.accessed_region(item)
+            for part, owner in ctx.lookup.get(item, ()):  # charged lookup
+                overlap = part.intersect(wanted)
+                if not overlap.is_empty():
+                    shares[owner] = shares.get(owner, 0.0) + weight * overlap.size()
+        if shares:
+            best = max(shares.items(), key=lambda kv: (kv[1], -kv[0]))
+            return best[0]
+        # 2. nothing placed yet: structural home hint for even spreading
+        hint = self._home_hint(task, runtime)
+        if hint is not None:
+            return hint
+        # 3. no data requirements at all: keep it where it is
+        return ctx.origin
+
+    def _home_hint(self, task: TaskSpec, runtime: "AllScaleRuntime") -> int | None:
+        best: tuple[float, int] | None = None
+        for item in task.accessed_items():
+            wanted = task.write_region(item)
+            if wanted.is_empty():
+                wanted = task.read_region(item)
+            homes = runtime.home_map(item)
+            if homes is None:
+                continue
+            for pid, home_region in enumerate(homes):
+                overlap = home_region.intersect(wanted).size()
+                if overlap and (best is None or overlap > best[0]):
+                    best = (overlap, pid)
+        return best[1] if best else None
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Ignore data placement; deal tasks out cyclically (ablation baseline)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick_variant(self, task: TaskSpec, runtime: "AllScaleRuntime") -> str:
+        return "split" if self._should_split(task, runtime) else "leaf"
+
+    def pick_target(self, task: TaskSpec, ctx: PlacementContext) -> int:
+        target = self._next % ctx.runtime.num_processes
+        self._next += 1
+        return target
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniformly random placement (ablation baseline)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def pick_variant(self, task: TaskSpec, runtime: "AllScaleRuntime") -> str:
+        return "split" if self._should_split(task, runtime) else "leaf"
+
+    def pick_target(self, task: TaskSpec, ctx: PlacementContext) -> int:
+        return self._rng.randrange(ctx.runtime.num_processes)

@@ -1,0 +1,256 @@
+"""Runtime processes: per-node task queues and workers (paper §3.2).
+
+One :class:`RuntimeProcess` per cluster node, mirroring HPX's
+process-per-node deployment.  Each process owns a task queue fed by the
+scheduler, a lock table, and a data item manager.  Dequeued tasks are
+handled by simulation coroutines; compute lands on the node's simulated
+cores, so intra-node parallelism emerges from the core timelines while
+data fetches overlap execution.
+
+A task arrives together with the variant choice the policy made
+(Algorithm 2 line 3): the *split* variant spawns child tasks that are
+re-assigned through the scheduler; the *leaf* variant stages data through
+the data item manager, takes region locks, executes, and completes its
+treeture.
+
+Optional work stealing ("tasks are stored within node-local queues ...
+yet may be stolen by other nodes"): an idle process probes a random peer
+and, if its queue is backed up, pulls half of it over the network.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Generator
+
+from repro.runtime.data_manager import DataItemManager
+from repro.runtime.locks import LockTable
+from repro.runtime.tasks import TaskExecutionContext, TaskSpec, Treeture
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import AllScaleRuntime
+    from repro.sim.node import SimNode
+
+
+class RuntimeProcess:
+    """One AllScale runtime process bound to one simulated node."""
+
+    def __init__(
+        self, runtime: "AllScaleRuntime", pid: int, node: "SimNode"
+    ) -> None:
+        self.runtime = runtime
+        self.pid = pid
+        self.node = node
+        self.locks = LockTable(runtime.engine)
+        self.data_manager = DataItemManager(self)
+        self.queue: deque[tuple[TaskSpec, Treeture, str]] = deque()
+        self.active = 0
+        self.failed = False
+        self.executed_leaves = 0
+        self.executed_splits = 0
+        self._dispatching = False
+        self._slot_waiters: list = []
+        self._rng = random.Random(runtime.config.seed * 7919 + pid)
+
+    # -- queue ---------------------------------------------------------------------
+
+    @property
+    def max_concurrent(self) -> int:
+        # leave headroom over the core count so data fetches overlap compute
+        return self.node.num_cores * 2
+
+    def enqueue(self, task: TaskSpec, treeture: Treeture, variant: str) -> None:
+        if self.failed:
+            raise RuntimeError(
+                f"task {task.name!r} dispatched to failed process {self.pid}"
+            )
+        tracer = self.runtime.tracer
+        if tracer is not None and variant != "split":
+            tracer.on_enqueue(
+                treeture, task.name, self.pid, self.runtime.engine.now
+            )
+        self.queue.append((task, treeture, variant))
+        if (
+            self.runtime.config.work_stealing
+            and len(self.queue) > self.max_concurrent
+        ):
+            self.runtime.engine.spawn(self._offload_to_idle_peer())
+        self._kick()
+
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    def _kick(self) -> None:
+        if not self._dispatching:
+            self._dispatching = True
+            self.runtime.engine.spawn(self._dispatch())
+
+    def _dispatch(self) -> Generator:
+        try:
+            while self.queue:
+                while self.active >= self.max_concurrent:
+                    yield self._slot_free()
+                if not self.queue:
+                    break  # tasks were stolen while we waited for a slot
+                entry = self.queue.popleft()
+                self.active += 1
+                self.runtime.engine.spawn(self._handle(*entry))
+        finally:
+            self._dispatching = False
+
+    def _slot_free(self):
+        future = self.runtime.engine.future()
+        self._slot_waiters.append(future)
+        return future
+
+    def _release_slot(self) -> None:
+        self.active -= 1
+        if self._slot_waiters:
+            self._slot_waiters.pop(0).complete(None)
+
+    # -- task handling ---------------------------------------------------------------
+
+    def _handle(
+        self, task: TaskSpec, treeture: Treeture, variant: str
+    ) -> Generator:
+        cfg = self.runtime.config
+        slot_released = False
+        try:
+            yield self.node.execute(cfg.task_start_overhead)
+            if variant == "split" and task.splittable:
+                children = task.splitter()  # type: ignore[misc]
+                if not children:
+                    raise RuntimeError(
+                        f"splitter of {task.name!r} produced no children"
+                    )
+                yield self.node.execute(
+                    cfg.task_spawn_overhead * len(children)
+                )
+                child_treetures = [
+                    self.runtime.scheduler.assign(child, origin=self.pid)
+                    for child in children
+                ]
+                # a suspended parent occupies no core: free the slot before
+                # awaiting children, or recursive fork-join would exhaust
+                # all slots with waiting parents and deadlock
+                self._release_slot()
+                slot_released = True
+                values = yield self.runtime.engine.all_of(
+                    [t.future for t in child_treetures]
+                )
+                value = task.combiner(values) if task.combiner else values
+                self.executed_splits += 1
+                self.runtime.metrics.incr("proc.splits")
+                treeture.complete(value)
+            else:
+                yield from self._run_leaf(
+                    task, treeture, offload=(variant == "gpu")
+                )
+        finally:
+            if not slot_released:
+                self._release_slot()
+
+    def _run_leaf(
+        self, task: TaskSpec, treeture: Treeture, offload: bool = False
+    ) -> Generator:
+        cfg = self.runtime.config
+        tracer = self.runtime.tracer
+        now = self.runtime.engine.now
+        if tracer is not None:
+            tracer.on_start(treeture, now)
+        # stage data: after this, the start rule's data premises hold here
+        yield from self.data_manager.ensure_for_task(task)
+        if tracer is not None:
+            tracer.on_data_ready(treeture, self.runtime.engine.now)
+        # take region locks; queue behind conflicting holders
+        while not self.locks.try_acquire(task, task.reads, task.writes):
+            self.runtime.metrics.incr("proc.lock_waits")
+            yield self.locks.wait_for_change()
+        if tracer is not None:
+            tracer.on_locks_held(treeture, self.runtime.engine.now)
+        try:
+            devices = self.runtime.cluster.accelerators[self.pid]
+            if offload and devices and task.gpu_flops is not None:
+                # GPU variant: ship the accessed data across the link, run
+                # the kernel, bring the written data back
+                device = min(devices, key=lambda d: d._compute_free_at)
+                inbound = sum(
+                    item.region_bytes(task.accessed_region(item))
+                    for item in task.accessed_items()
+                )
+                outbound = sum(
+                    item.region_bytes(task.write_region(item))
+                    for item in task.accessed_items()
+                )
+                yield device.transfer(inbound)
+                yield device.launch(task.gpu_flops)
+                yield device.transfer(outbound)
+                self.runtime.metrics.incr("proc.gpu_offloads")
+            else:
+                cost = self.node.flops_to_seconds(task.flops)
+                if cost > 0:
+                    yield self.node.execute(cost)
+            value = None
+            if task.body is not None and (
+                self.runtime.config.functional
+                or getattr(task, "body_in_virtual", False)
+            ):
+                context = TaskExecutionContext(
+                    self.pid,
+                    task,
+                    {
+                        item: self.data_manager.fragment(item)
+                        for item in task.accessed_items()
+                    },
+                )
+                value = task.body(context)
+        finally:
+            self.locks.release(task)
+        self.executed_leaves += 1
+        self.runtime.metrics.incr("proc.leaves")
+        if tracer is not None:
+            tracer.on_finish(treeture, self.runtime.engine.now)
+        treeture.complete(value)
+
+    # -- work stealing -----------------------------------------------------------------
+
+    def _offload_to_idle_peer(self) -> Generator:
+        """Let an idle peer steal half of this backed-up queue.
+
+        The paper's node-local queues "may be stolen by other nodes"; in
+        the event-driven simulation the transfer is initiated when queue
+        pressure appears (an idle node cannot wake itself), but the costs
+        and the effect — half the queue moves, with per-task transfer
+        messages — are those of a steal.
+        """
+        runtime = self.runtime
+        if runtime.num_processes < 2:
+            return
+        probe = self._rng.randrange(runtime.num_processes - 1)
+        if probe >= self.pid:
+            probe += 1
+        thief = runtime.process(probe)
+        cfg = runtime.config
+        # steal handshake: probe + response
+        yield runtime.network.send(probe, self.pid, cfg.control_message_bytes)
+        if thief.active > 0 or thief.queue_length() > 0:
+            return  # peer is busy; nothing moves
+        if self.queue_length() < 2:
+            return
+        loot_count = self.queue_length() // 2
+        loot = [self.queue.pop() for _ in range(loot_count)]
+        yield runtime.network.send(
+            self.pid, probe, cfg.task_message_bytes * loot_count
+        )
+        runtime.metrics.incr("proc.steals")
+        runtime.metrics.incr("proc.stolen_tasks", loot_count)
+        for entry in reversed(loot):
+            thief.queue.append(entry)
+        thief._kick()
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimeProcess(pid={self.pid}, queued={len(self.queue)}, "
+            f"active={self.active})"
+        )

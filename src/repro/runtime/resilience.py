@@ -1,0 +1,172 @@
+"""Resilience manager: data item checkpoint and restart (paper §3.2/§6).
+
+The paper lists runtime-based task checkpointing as a service the
+application model enables (deliverable D5.7) and as ongoing work.  Because
+the runtime owns the distribution of all data items, a checkpoint is simply
+the set of every process's fragment payloads; restoring re-creates the
+distribution on a (possibly different-sized) runtime — the data preservation
+property guarantees nothing else is needed to resume between task barriers.
+
+Checkpoint cost is charged to the simulation: each process serializes its
+fragments (core time) and ships them to stable storage modelled as a peer
+stream with the configured network bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from repro.items.base import DataItem, FragmentPayload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import AllScaleRuntime
+
+
+def _extract_sub_payload(
+    item: DataItem, payload: FragmentPayload, region
+) -> FragmentPayload:
+    """Cut the sub-``region`` out of a checkpointed payload."""
+    staging = item.new_fragment(
+        item.empty_region(), functional=payload.data is not None
+    )
+    staging.insert(payload)
+    return staging.extract(region)
+
+
+@dataclass
+class Checkpoint:
+    """A consistent snapshot of all data items' contents and distribution."""
+
+    sim_time: float
+    #: item name -> list of (owning pid, payload)
+    payloads: dict[str, list[tuple[int, FragmentPayload]]] = field(
+        default_factory=dict
+    )
+
+    def total_bytes(self) -> int:
+        return sum(
+            payload.nbytes
+            for entries in self.payloads.values()
+            for _pid, payload in entries
+        )
+
+
+class ResilienceManager:
+    """Checkpoint/restore of the runtime's data items."""
+
+    def __init__(self, runtime: "AllScaleRuntime") -> None:
+        self.runtime = runtime
+
+    # -- checkpoint ---------------------------------------------------------------
+
+    def checkpoint(self) -> Generator:
+        """Simulation process producing a :class:`Checkpoint`.
+
+        Must run at a task barrier (no tasks holding locks); the runtime's
+        apps checkpoint between pfor steps, where that holds by
+        construction.
+        """
+        runtime = self.runtime
+        cfg = runtime.config
+        snapshot = Checkpoint(sim_time=runtime.now)
+        for item in runtime.items:
+            entries: list[tuple[int, FragmentPayload]] = []
+            for process in runtime.processes:
+                manager = process.data_manager
+                owned = manager.owned_region(item)
+                if owned.is_empty():
+                    continue
+                yield process.node.execute(cfg.fragment_op_overhead)
+                payload = manager.fragment(item).extract(owned)
+                # stream to stable storage: modelled as a full-bandwidth
+                # send to the process's own NIC (stable store is off-node)
+                target = (process.pid + 1) % runtime.num_processes
+                yield runtime.network.send(
+                    process.pid, target, max(1, payload.nbytes)
+                )
+                entries.append((process.pid, payload))
+            if entries:
+                snapshot.payloads[item.name] = entries
+        runtime.metrics.incr("resilience.checkpoints")
+        return snapshot
+
+    # -- recovery from node loss --------------------------------------------------------
+
+    def recover_lost_data(self, snapshot: Checkpoint) -> Generator:
+        """Re-materialize data lost to a node failure from a checkpoint.
+
+        For every item, whatever part of ``elems(d)`` is currently present
+        nowhere (the failed node's share) is restored from the checkpoint
+        payloads onto the surviving processes, spread round-robin.  Data
+        still alive is left untouched — survivors keep their (possibly
+        newer) state; only the lost region rolls back to checkpoint time,
+        which is the standard partial-restart semantics the model's data
+        preservation property makes safe between task barriers.
+        """
+        runtime = self.runtime
+        cfg = runtime.config
+        by_name = {item.name: item for item in runtime.items}
+        survivors = [
+            p.pid for p in runtime.processes if not p.failed
+        ]
+        if not survivors:
+            raise RuntimeError("no surviving processes to recover onto")
+        cursor = 0
+        for item_name, entries in snapshot.payloads.items():
+            item = by_name.get(item_name)
+            if item is None:
+                continue
+            lost = item.full_region
+            for process in runtime.processes:
+                lost = lost.difference(
+                    process.data_manager.present_region(item)
+                )
+            if lost.is_empty():
+                continue
+            for _pid, payload in entries:
+                part = payload.region.intersect(lost)
+                if part.is_empty():
+                    continue
+                target = runtime.process(survivors[cursor % len(survivors)])
+                cursor += 1
+                sub = _extract_sub_payload(item, payload, part)
+                source = (target.pid + 1) % runtime.num_processes
+                yield runtime.network.send(
+                    source, target.pid, max(1, sub.nbytes)
+                )
+                yield target.node.execute(cfg.fragment_op_overhead)
+                target.data_manager.import_owned(item, sub)
+            runtime.metrics.incr("resilience.recovered_items")
+        runtime.metrics.incr("resilience.recoveries")
+
+    # -- restore ---------------------------------------------------------------------
+
+    def restore(self, snapshot: Checkpoint) -> Generator:
+        """Re-create the checkpointed distribution on this runtime.
+
+        The target runtime may have a different process count: payloads for
+        processes beyond the current count fold onto ``pid % P`` — data
+        items make the re-decomposition safe, which is the point of the
+        model's resilience story.
+        """
+        runtime = self.runtime
+        cfg = runtime.config
+        by_name = {item.name: item for item in runtime.items}
+        for item_name, entries in snapshot.payloads.items():
+            item = by_name.get(item_name)
+            if item is None:
+                raise KeyError(
+                    f"checkpoint contains unknown item {item_name!r}; "
+                    "register it before restoring"
+                )
+            for pid, payload in entries:
+                target = pid % runtime.num_processes
+                process = runtime.process(target)
+                source = (target + 1) % runtime.num_processes
+                yield runtime.network.send(
+                    source, target, max(1, payload.nbytes)
+                )
+                yield process.node.execute(cfg.fragment_op_overhead)
+                process.data_manager.import_owned(item, payload)
+        runtime.metrics.incr("resilience.restores")

@@ -1,0 +1,295 @@
+"""The AllScale runtime façade.
+
+Assembles the per-process components (queues, lock tables, data item
+managers), the hierarchical index, and the scheduler over a simulated
+cluster, and exposes the small API applications use:
+
+* :meth:`register_item` — introduce a data item (the *create* action),
+  optionally pre-placing an initial distribution;
+* :meth:`submit` — schedule a task, receiving its treeture;
+* :meth:`spawn` / :meth:`run` — drive simulation processes and the event
+  loop;
+* :meth:`wait` — run the event loop until a treeture completes.
+
+The runtime also keeps the system-wide replica registry used to enforce
+the exclusive-writes property (replicas of a region being written are
+invalidated before the write starts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.items.base import DataItem
+from repro.regions.base import Region
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.index import HierarchicalIndex
+from repro.runtime.policies import DataAwarePolicy, SchedulingPolicy
+from repro.runtime.process import RuntimeProcess
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.tasks import TaskSpec, Treeture
+from repro.sim.cluster import Cluster
+
+
+class AllScaleRuntime:
+    """One runtime instance spanning a whole simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: RuntimeConfig | None = None,
+        policy: SchedulingPolicy | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or RuntimeConfig()
+        self.policy = policy or DataAwarePolicy()
+        self.engine = cluster.engine
+        self.network = cluster.network
+        self.metrics = cluster.metrics
+        self.index = HierarchicalIndex(
+            self.network,
+            cluster.num_nodes,
+            self.config.control_message_bytes,
+        )
+        self.scheduler = Scheduler(self)
+        self.processes = [
+            RuntimeProcess(self, pid, node)
+            for pid, node in enumerate(cluster.nodes)
+        ]
+        self._home_maps: dict[DataItem, list[Region] | None] = {}
+        self._replicas: dict[DataItem, dict[int, Region]] = {}
+        self._items: list[DataItem] = []
+        #: optional per-task lifecycle tracing (repro.runtime.tracing)
+        self.tracer = None
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def num_processes(self) -> int:
+        return len(self.processes)
+
+    def process(self, pid: int) -> RuntimeProcess:
+        return self.processes[pid]
+
+    @property
+    def items(self) -> list[DataItem]:
+        return list(self._items)
+
+    # -- data items -----------------------------------------------------------------
+
+    def register_item(
+        self,
+        item: DataItem,
+        placement: list[Region] | None = None,
+    ) -> None:
+        """Introduce a data item to the runtime (the *create* action).
+
+        ``placement`` optionally pre-allocates region ``placement[p]`` at
+        process ``p`` — the moral equivalent of an application whose
+        initialization tasks have already spread the data (used by tests
+        and by apps that start from a known distribution).  Without it, no
+        memory is allocated until first touch, exactly like the *create*
+        rule.
+        """
+        if item in self._home_maps:
+            raise ValueError(f"item {item.name!r} registered twice")
+        self.index.register_item(item)
+        try:
+            homes: list[Region] | None = item.decompose(self.num_processes)
+        except NotImplementedError:
+            homes = None
+        self._home_maps[item] = homes
+        self._items.append(item)
+        if placement is not None:
+            if len(placement) != self.num_processes:
+                raise ValueError(
+                    f"placement has {len(placement)} entries for "
+                    f"{self.num_processes} processes"
+                )
+            for pid, region in enumerate(placement):
+                if not region.is_empty():
+                    self.processes[pid].data_manager.allocate(item, region)
+
+    def home_map(self, item: DataItem) -> list[Region] | None:
+        """Structural even-spreading hint used by the default policy."""
+        return self._home_maps.get(item)
+
+    def destroy_item(self, item: DataItem) -> None:
+        """Drop an item's fragments and bookkeeping (the *destroy* action)."""
+        for process in self.processes:
+            manager = process.data_manager
+            fragment = manager.fragments.pop(item, None)
+            if fragment is not None:
+                process.node.free(fragment.nbytes)
+            manager.owned.pop(item, None)
+            self.index.update_ownership(item, process.pid, item.empty_region())
+        self._replicas.pop(item, None)
+        self._home_maps.pop(item, None)
+        if item in self._items:
+            self._items.remove(item)
+
+    # -- node failure (dynamic environments, paper §2.4 outlook) ---------------------------
+
+    def fail_process(self, pid: int) -> None:
+        """Simulate the crash of one node.
+
+        Must be invoked at a task barrier (no tasks queued or running on
+        the victim).  All data the node held — owned fragments and
+        replicas — is lost; the index is updated so lookups report the
+        lost regions as present nowhere.  Use
+        :meth:`~repro.runtime.resilience.ResilienceManager.recover_lost_data`
+        with a prior checkpoint to re-materialize the lost regions on the
+        survivors.
+        """
+        process = self.processes[pid]
+        if process.queue or process.active:
+            raise RuntimeError(
+                f"process {pid} still has work; failures are only modelled "
+                "at task barriers"
+            )
+        process.failed = True
+        manager = process.data_manager
+        for item in list(manager.fragments):
+            self.unregister_replica(item, pid, manager.replica_region(item))
+            self.index.update_ownership(item, pid, item.empty_region())
+        manager.fragments.clear()
+        manager.owned.clear()
+        process.node.memory_used = 0.0
+        self.metrics.incr("runtime.node_failures")
+
+    def alive_processes(self) -> list[int]:
+        return [p.pid for p in self.processes if not p.failed]
+
+    def _redirect_if_failed(self, target: int) -> int:
+        """Route around failed processes (next alive pid, wrapping)."""
+        if not self.processes[target].failed:
+            return target
+        alive = self.alive_processes()
+        if not alive:
+            raise RuntimeError("all processes have failed")
+        for offset in range(1, self.num_processes + 1):
+            candidate = (target + offset) % self.num_processes
+            if not self.processes[candidate].failed:
+                return candidate
+        raise AssertionError("unreachable")
+
+    # -- replica registry ---------------------------------------------------------------
+
+    def register_replica(self, item: DataItem, pid: int, region: Region) -> None:
+        holders = self._replicas.setdefault(item, {})
+        current = holders.get(pid, item.empty_region())
+        holders[pid] = current.union(region)
+
+    def unregister_replica(self, item: DataItem, pid: int, region: Region) -> None:
+        holders = self._replicas.get(item)
+        if not holders or pid not in holders:
+            return
+        remaining = holders[pid].difference(region)
+        if remaining.is_empty():
+            del holders[pid]
+        else:
+            holders[pid] = remaining
+
+    def replica_holders(self, item: DataItem) -> dict[int, Region]:
+        return dict(self._replicas.get(item, {}))
+
+    def invalidate_replicas(
+        self, item: DataItem, region: Region, keeper: int
+    ) -> Generator:
+        """Drop every remote replica overlapping ``region``.
+
+        Enforces the start rule's ``D ∩ Dw = ∅`` premise before a write;
+        waits for local locks at each holder, exactly like the *migrate*
+        guard would.
+        """
+        holders = self._replicas.get(item, {})
+        for pid in sorted(holders):
+            if pid == keeper:
+                continue
+            overlap = holders.get(pid, item.empty_region()).intersect(region)
+            if overlap.is_empty():
+                continue
+            yield self.network.send(
+                keeper, pid, self.config.control_message_bytes
+            )
+            process = self.processes[pid]
+            while process.locks.any_locked(item, overlap):
+                yield process.locks.wait_for_change()
+            process.data_manager.drop_replica(item, overlap)
+            self.metrics.incr("dm.invalidations")
+
+    # -- execution ---------------------------------------------------------------------
+
+    def submit(
+        self,
+        task: TaskSpec,
+        origin: int = 0,
+        after: list[Treeture] | None = None,
+    ) -> Treeture:
+        """Schedule a task through Algorithm 2; returns its treeture.
+
+        ``after`` defers placement until the listed treetures complete —
+        dependency chaining without a global barrier.
+        """
+        return self.scheduler.assign(task, origin=origin, after=after)
+
+    def spawn(self, gen: Generator):
+        """Run an application driver as a simulation process."""
+        return self.engine.spawn(gen)
+
+    def run(self, until: float | None = None) -> int:
+        return self.engine.run(until=until)
+
+    def wait(self, treeture: Treeture) -> Any:
+        """Drive the event loop until ``treeture`` completes; return value."""
+        while not treeture.done:
+            processed = self.engine.run(max_events=100_000)
+            if processed == 0 and not treeture.done:
+                raise RuntimeError(
+                    f"event queue drained but {treeture!r} never completed "
+                    "(lost dependency or deadlock)"
+                )
+        return treeture.value
+
+    def wait_process(self, gen: Generator) -> Any:
+        """Spawn an application driver and run until it returns."""
+        future = self.engine.spawn(gen)
+        while not future.done:
+            processed = self.engine.run(max_events=100_000)
+            if processed == 0 and not future.done:
+                raise RuntimeError(
+                    "event queue drained but the driver never returned"
+                )
+        return future.value
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # -- invariants (test support) ----------------------------------------------------------
+
+    def check_ownership_invariants(self) -> None:
+        """Owned regions are disjoint across processes and match the index."""
+        for item in self._items:
+            seen = item.empty_region()
+            for process in self.processes:
+                owned = process.data_manager.owned_region(item)
+                overlap = seen.intersect(owned)
+                if not overlap.is_empty():
+                    raise AssertionError(
+                        f"ownership of {item.name!r} overlaps between "
+                        f"processes ({overlap.size()} elements)"
+                    )
+                seen = seen.union(owned)
+                indexed = self.index.owned_region(item, process.pid)
+                if not indexed.same_elements(owned):
+                    raise AssertionError(
+                        f"index desynchronized for {item.name!r} at "
+                        f"process {process.pid}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"AllScaleRuntime({self.num_processes} processes, "
+            f"t={self.engine.now:.6g}s)"
+        )

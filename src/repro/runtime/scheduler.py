@@ -1,0 +1,189 @@
+"""Inter-process task scheduling (paper §3.2, Algorithm 2).
+
+``assign`` implements ``ASSIGN_TO_NODE``: the policy picks the variant,
+then the task is dispatched to
+
+1. a process whose owned regions cover *all* data requirements, else
+2. a process covering all *write* requirements, else
+3. wherever the scheduling policy chooses.
+
+Coverage is derived from one charged hierarchical-index lookup over the
+task's accessed regions (Algorithm 1), and the resulting ownership map is
+handed to the policy so its placement decision reuses the same
+information.  Remote dispatch ships the task closure as a network message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.items.base import DataItem
+from repro.regions.base import Region
+from repro.runtime.policies import PlacementContext
+from repro.runtime.tasks import TaskSpec, Treeture
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import AllScaleRuntime
+
+
+class Scheduler:
+    """Algorithm 2 plus the plumbing to move tasks between processes."""
+
+    def __init__(self, runtime: "AllScaleRuntime") -> None:
+        self.runtime = runtime
+
+    # -- public entry -------------------------------------------------------------
+
+    def assign(
+        self,
+        task: TaskSpec,
+        origin: int = 0,
+        after: list[Treeture] | None = None,
+    ) -> Treeture:
+        """Schedule ``task``; returns its treeture immediately.
+
+        ``after`` lists treetures that must complete before the task is
+        even placed — fine-grained dependencies without a global barrier
+        (the AllScale API's treeture-composition style).
+        """
+        runtime = self.runtime
+        treeture = Treeture(runtime.engine, task.name)
+        if after:
+            gate = runtime.engine.all_of([t.future for t in after])
+
+            def launch(_values) -> None:
+                runtime.engine.spawn(
+                    self._assign_process(task, treeture, origin)
+                )
+
+            gate.add_callback(launch)
+        else:
+            runtime.engine.spawn(self._assign_process(task, treeture, origin))
+        return treeture
+
+    # -- ASSIGN_TO_NODE ------------------------------------------------------------
+
+    def _assign_process(
+        self, task: TaskSpec, treeture: Treeture, origin: int
+    ) -> Generator:
+        runtime = self.runtime
+        cfg = runtime.config
+        variant = runtime.policy.pick_variant(task, runtime)
+
+        lookup: dict[DataItem, list[tuple[Region, int]]] = {}
+        target: int | None = None
+        if task.accessed_items():
+            lookup = yield from self._locate_requirements(task, origin)
+            target = self._covering_all(task, lookup)
+            if target is None:
+                target = self._covering_writes(task, lookup)
+        if target is None:
+            ctx = PlacementContext(runtime, origin, lookup)
+            target = runtime.policy.pick_target(task, ctx)
+        if not (0 <= target < runtime.num_processes):
+            raise ValueError(
+                f"policy chose invalid target {target} for {task.name!r}"
+            )
+        target = runtime._redirect_if_failed(target)
+
+        if target != origin:
+            runtime.metrics.incr("sched.remote_dispatch")
+            # closure serialization at the origin, parcel decode at the
+            # target — the per-remote-task CPU cost of the prototype
+            yield runtime.process(origin).node.execute(
+                cfg.remote_task_cpu_overhead
+            )
+            yield runtime.network.send(origin, target, cfg.task_message_bytes)
+            yield runtime.process(target).node.execute(
+                cfg.remote_task_cpu_overhead
+            )
+            # completion travels back to the origin as a notification
+            inner = Treeture(runtime.engine, task.name)
+
+            def forward(value: Any) -> None:
+                notify = runtime.network.send(
+                    target, origin, cfg.completion_message_bytes
+                )
+                notify.add_callback(lambda _at: treeture.complete(value))
+
+            inner.then(forward)
+            runtime.process(target).enqueue(task, inner, variant)
+        else:
+            runtime.metrics.incr("sched.local_dispatch")
+            runtime.process(target).enqueue(task, treeture, variant)
+
+    # -- coverage from one charged lookup -----------------------------------------------
+
+    def _locate_requirements(
+        self, task: TaskSpec, origin: int
+    ) -> Generator:
+        index = self.runtime.index
+        resolve = (
+            index.lookup_cached
+            if self.runtime.config.index_caching
+            else index.lookup
+        )
+        lookup: dict[DataItem, list[tuple[Region, int]]] = {}
+        for item in sorted(task.accessed_items(), key=lambda i: i.name):
+            region = task.accessed_region(item)
+            mapping, _unresolved = yield from resolve(item, region, origin)
+            lookup[item] = mapping
+        return lookup
+
+    @staticmethod
+    def _owned_share(
+        lookup: list[tuple[Region, int]], pid: int, item: DataItem
+    ) -> Region:
+        share = item.empty_region()
+        for part, owner in lookup:
+            if owner == pid:
+                share = share.union(part)
+        return share
+
+    def _covering_all(
+        self, task: TaskSpec, lookup: dict[DataItem, list[tuple[Region, int]]]
+    ) -> int | None:
+        """Algorithm 2 line 4: a process covering every requirement."""
+        return self._covering(task, lookup, writes_only=False)
+
+    def _covering_writes(
+        self, task: TaskSpec, lookup: dict[DataItem, list[tuple[Region, int]]]
+    ) -> int | None:
+        """Algorithm 2 line 7: a process covering all write requirements."""
+        if not task.writes:
+            return None
+        return self._covering(task, lookup, writes_only=True)
+
+    def _covering(
+        self,
+        task: TaskSpec,
+        lookup: dict[DataItem, list[tuple[Region, int]]],
+        writes_only: bool,
+    ) -> int | None:
+        candidates: set[int] | None = None
+        for item in task.accessed_items():
+            needed = (
+                task.write_region(item)
+                if writes_only
+                else task.accessed_region(item)
+            )
+            if needed.is_empty():
+                continue
+            owners = {
+                pid
+                for _part, pid in lookup.get(item, ())
+            }
+            covering = {
+                pid
+                for pid in owners
+                if self._owned_share(lookup[item], pid, item).covers(needed)
+            }
+            if candidates is None:
+                candidates = covering
+            else:
+                candidates &= covering
+            if not candidates:
+                return None
+        if not candidates:
+            return None
+        return min(candidates)

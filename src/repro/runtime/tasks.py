@@ -1,0 +1,169 @@
+"""Runtime task representation and treetures.
+
+A :class:`TaskSpec` is the runtime-level counterpart of a model-level task
+with two variants (paper Example 2.3): executed as a **leaf** it performs
+its whole work sequentially (``flops`` of core time plus an optional
+functional ``body``); executed as the **parallel variant** it is split by
+``splitter`` into child tasks whose results ``combiner`` folds back
+together.  Which variant runs is the scheduling policy's choice
+(Algorithm 2, line 3).
+
+The requirement dictionaries are exactly the compiler-generated
+requirement functions of §3.3: for every accessed data item, the region
+read and the region written.
+
+A :class:`Treeture` (the AllScale API's name for a task-result handle) is a
+completable future carrying the task's value; ``yield treeture.future``
+inside a simulation process awaits completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, TYPE_CHECKING
+
+from repro.items.base import DataItem, Fragment
+from repro.regions.base import Region
+from repro.util.ids import fresh_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Future, SimEngine
+
+
+@dataclass
+class TaskSpec:
+    """A schedulable unit of work with declared data requirements."""
+
+    name: str = ""
+    reads: dict[DataItem, Region] = field(default_factory=dict)
+    writes: dict[DataItem, Region] = field(default_factory=dict)
+    #: sequential-execution cost of the whole task, in FLOPs
+    flops: float = 0.0
+    #: iterations/elements covered — drives granularity decisions
+    size_hint: float = 1.0
+    #: functional leaf work; receives a TaskExecutionContext, returns a value
+    body: Callable[["TaskExecutionContext"], Any] | None = None
+    #: produce child tasks (the parallel variant); None = leaf-only task
+    splitter: Callable[[], list["TaskSpec"]] | None = None
+    #: fold child values into this task's value (default: list of them)
+    combiner: Callable[[list[Any]], Any] | None = None
+    #: stop splitting once size_hint falls to this value (None: use the
+    #: runtime config's min_task_size); set by pfor/prec from range sizes
+    granularity: float | None = None
+    #: run the body even when fragments are virtual (the body must then not
+    #: touch fragment values — e.g. TPC bodies read the shared kd-tree
+    #: structure, not fragment storage)
+    body_in_virtual: bool = False
+    #: device cost of the leaf work, enabling a GPU variant (Example 2.3's
+    #: "runtime may choose between these alternatives" extended to
+    #: accelerators); None = CPU-only task
+    gpu_flops: float | None = None
+
+    def transfer_bytes(self) -> int:
+        """Host↔device bytes an offloaded execution must move."""
+        total = 0
+        for item in self.accessed_items():
+            total += item.region_bytes(self.accessed_region(item))
+            total += item.region_bytes(self.write_region(item))
+        return total
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = fresh_id("rtask")
+        if self.flops < 0:
+            raise ValueError(f"negative flops on task {self.name!r}")
+        if self.size_hint <= 0:
+            raise ValueError(f"non-positive size_hint on task {self.name!r}")
+
+    @property
+    def splittable(self) -> bool:
+        return self.splitter is not None
+
+    def accessed_items(self) -> frozenset[DataItem]:
+        return frozenset(self.reads) | frozenset(self.writes)
+
+    def read_region(self, item: DataItem) -> Region:
+        return self.reads.get(item, item.empty_region())
+
+    def write_region(self, item: DataItem) -> Region:
+        return self.writes.get(item, item.empty_region())
+
+    def accessed_region(self, item: DataItem) -> Region:
+        return self.read_region(item).union(self.write_region(item))
+
+    def __repr__(self) -> str:
+        kind = "splittable" if self.splittable else "leaf"
+        return f"TaskSpec({self.name!r}, {kind}, size={self.size_hint:g})"
+
+
+class Treeture:
+    """Handle to an (eventually computed) task result.
+
+    Mirrors the AllScale API's ``treeture<T>``: composable completion plus
+    a value.  ``then`` chains lightweight callbacks; simulation processes
+    await via ``yield treeture.future``.
+    """
+
+    __slots__ = ("task_name", "future")
+
+    def __init__(self, engine: "SimEngine", task_name: str) -> None:
+        from repro.sim.engine import Future  # local import to avoid cycle
+
+        self.task_name = task_name
+        self.future: Future = engine.future()
+
+    @property
+    def done(self) -> bool:
+        return self.future.done
+
+    @property
+    def value(self) -> Any:
+        if not self.future.done:
+            raise RuntimeError(f"treeture of {self.task_name!r} not complete")
+        return self.future.value
+
+    def complete(self, value: Any = None) -> None:
+        self.future.complete(value)
+
+    def then(self, fn: Callable[[Any], None]) -> None:
+        self.future.add_callback(fn)
+
+    def __repr__(self) -> str:
+        state = f"value={self.future.value!r}" if self.done else "pending"
+        return f"Treeture({self.task_name!r}, {state})"
+
+
+class TaskExecutionContext:
+    """What a functional task body sees while running on a process.
+
+    Provides access to the local fragments of the data items the task
+    declared requirements on — reads may touch replicated halo data, writes
+    land in the owned region.  Bodies must stay within their declared
+    regions; the data manager only guarantees presence for those.
+    """
+
+    __slots__ = ("process_id", "_fragments", "task")
+
+    def __init__(
+        self,
+        process_id: int,
+        task: TaskSpec,
+        fragments: Mapping[DataItem, Fragment],
+    ) -> None:
+        self.process_id = process_id
+        self.task = task
+        self._fragments = fragments
+
+    def fragment(self, item: DataItem) -> Fragment:
+        fragment = self._fragments.get(item)
+        if fragment is None:
+            raise KeyError(
+                f"task {self.task.name!r} declared no requirement on "
+                f"item {item.name!r}"
+            )
+        return fragment
+
+
+def constant_task(value: Any, name: str = "") -> TaskSpec:
+    """A no-requirement, zero-cost task producing ``value`` (testing aid)."""
+    return TaskSpec(name=name or fresh_id("const"), body=lambda ctx: value)

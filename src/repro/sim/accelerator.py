@@ -1,0 +1,95 @@
+"""Simulated accelerators (GPUs) attached to cluster nodes.
+
+The paper's introduction names "the offloading of computation to GPUs"
+among the system-level features that depend on runtime control over data
+distribution; the architecture model (Def. 2.8) explicitly includes GPUs
+as compute units and device memories as address spaces.  This module
+provides the simulation substrate: a device with its own compute timeline
+and a host↔device link with PCIe-class latency/bandwidth, serialized like
+a NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import Future, SimEngine
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Static description of one accelerator."""
+
+    #: effective device compute rate (FLOP/s) for offloaded kernels
+    flops: float = 4.0e12
+    #: host↔device transfer bandwidth (bytes/s); ~PCIe 3.0 x16
+    link_bandwidth: float = 12.0e9
+    #: per-transfer latency (s): driver + DMA setup
+    link_latency: float = 10.0e-6
+    #: fixed kernel-launch overhead (s)
+    launch_overhead: float = 8.0e-6
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0 or self.link_bandwidth <= 0:
+            raise ValueError("flops and link_bandwidth must be positive")
+        if self.link_latency < 0 or self.launch_overhead < 0:
+            raise ValueError("latencies must be >= 0")
+
+
+class SimAccelerator:
+    """One device: a serial compute queue plus a serial transfer link."""
+
+    def __init__(
+        self, engine: SimEngine, device_id: int, spec: AcceleratorSpec
+    ) -> None:
+        self.engine = engine
+        self.device_id = device_id
+        self.spec = spec
+        self._compute_free_at = 0.0
+        self._link_free_at = 0.0
+        self.kernels_launched = 0
+        self.bytes_transferred = 0.0
+
+    def transfer(self, nbytes: float) -> Future:
+        """Move ``nbytes`` across the host↔device link (either direction)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        engine = self.engine
+        start = max(engine.now, self._link_free_at)
+        finish = (
+            start + self.spec.link_latency + nbytes / self.spec.link_bandwidth
+        )
+        self._link_free_at = finish
+        self.bytes_transferred += nbytes
+        done = engine.future()
+        engine.schedule_at(finish, lambda: done.complete(engine.now))
+        return done
+
+    def launch(self, flops: float) -> Future:
+        """Run a kernel of ``flops`` device work (kernels serialize)."""
+        if flops < 0:
+            raise ValueError(f"negative kernel size {flops}")
+        engine = self.engine
+        start = max(engine.now, self._compute_free_at)
+        finish = start + self.spec.launch_overhead + flops / self.spec.flops
+        self._compute_free_at = finish
+        self.kernels_launched += 1
+        done = engine.future()
+        engine.schedule_at(finish, lambda: done.complete(engine.now))
+        return done
+
+    def offload_time_estimate(self, flops: float, nbytes: float) -> float:
+        """Unloaded end-to-end estimate: H2D + kernel + D2H."""
+        spec = self.spec
+        return (
+            2 * spec.link_latency
+            + nbytes / spec.link_bandwidth  # combined in+out volume
+            + spec.launch_overhead
+            + flops / spec.flops
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SimAccelerator(id={self.device_id}, "
+            f"{self.spec.flops / 1e12:.1f} TFLOP/s)"
+        )

@@ -1,0 +1,202 @@
+"""Discrete-event simulation core.
+
+The engine keeps a priority queue of events ordered by ``(time, sequence)``
+— the sequence number makes simultaneous events fire in scheduling order,
+so every run of the same scenario is deterministic regardless of hash
+randomization or dict ordering.
+
+Two programming styles are supported on top of the raw event queue:
+
+* **callbacks** — ``engine.schedule(delay, fn)``;
+* **processes** — generator coroutines that ``yield`` either a float delay
+  or a :class:`Future`; the engine resumes them when the delay elapses or
+  the future completes.  The runtime system and the MPI baseline are
+  written in this style.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterator
+
+
+class Event:
+    """A scheduled callback; cancellable."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        flag = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6g}, seq={self.seq}{flag})"
+
+
+class Future:
+    """A completable one-shot value, usable from coroutine processes.
+
+    ``yield future`` inside a process suspends it until ``complete`` is
+    called; the completed value becomes the result of the ``yield``
+    expression.  Completing twice is an error; callbacks added after
+    completion run immediately.
+    """
+
+    __slots__ = ("engine", "done", "value", "_callbacks")
+
+    def __init__(self, engine: "SimEngine") -> None:
+        self.engine = engine
+        self.done = False
+        self.value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    def complete(self, value: Any = None) -> None:
+        if self.done:
+            raise RuntimeError("future completed twice")
+        self.done = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        if self.done:
+            fn(self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:
+        return f"Future(done={self.done})"
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class SimEngine:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        event = Event(self.now + delay, next(self._seq), fn)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute simulated time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        event = Event(time, next(self._seq), fn)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def future(self) -> Future:
+        return Future(self)
+
+    # -- coroutine processes ---------------------------------------------------------
+
+    def spawn(self, gen: ProcessGen) -> Future:
+        """Run a generator process; the returned future completes with its
+        ``return`` value when the process finishes."""
+        result = self.future()
+        self._step_process(gen, None, result)
+        return result
+
+    def _step_process(self, gen: ProcessGen, send_value: Any, result: Future) -> None:
+        try:
+            yielded = gen.send(send_value)
+        except StopIteration as stop:
+            result.complete(stop.value)
+            return
+        if isinstance(yielded, Future):
+            yielded.add_callback(
+                lambda value: self._step_process(gen, value, result)
+            )
+        elif isinstance(yielded, (int, float)):
+            self.schedule(
+                float(yielded), lambda: self._step_process(gen, None, result)
+            )
+        else:
+            raise TypeError(
+                f"process yielded {yielded!r}; expected Future or delay"
+            )
+
+    def all_of(self, futures: list[Future]) -> Future:
+        """Future completing (with a list of values) once all inputs complete."""
+        combined = self.future()
+        if not futures:
+            combined.complete([])
+            return combined
+        remaining = len(futures)
+        values: list[Any] = [None] * len(futures)
+
+        def make_cb(index: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                nonlocal remaining
+                values[index] = value
+                remaining -= 1
+                if remaining == 0:
+                    combined.complete(values)
+
+            return cb
+
+        for index, future in enumerate(futures):
+            future.add_callback(make_cb(index))
+        return combined
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> int:
+        """Process events until the queue drains (or a bound is hit).
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if max_events is not None and processed >= max_events:
+                break
+            self.now = event.time
+            event.fn()
+            processed += 1
+            self._events_processed += 1
+        if until is not None and (not self._queue or self._queue[0].time > until):
+            self.now = max(self.now, until)
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def __repr__(self) -> str:
+        return f"SimEngine(now={self.now:.6g}, pending={self.pending_events})"

@@ -1,0 +1,58 @@
+"""Fat-tree topology model.
+
+The paper's testbed connects nodes "via Intel OmniPath in a fat tree
+topology".  For latency purposes the relevant property of a fat tree is the
+number of switch levels a message crosses: nodes under the same edge switch
+communicate with one hop up and one down; farther nodes traverse additional
+aggregation/core levels.  We model a ``radix``-ary tree of edge switches —
+enough fidelity to make far traffic slightly more expensive than near
+traffic without simulating individual links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FatTreeTopology:
+    """Groups of ``radix`` nodes share an edge switch; switches form a tree."""
+
+    num_nodes: int
+    radix: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.radix < 2:
+            raise ValueError(f"radix must be >= 2, got {self.radix}")
+
+    def switch_hops(self, src: int, dst: int) -> int:
+        """Number of switch traversals between two node indices.
+
+        0 for loopback, 1 within an edge-switch group, and one extra
+        up+down pair per additional tree level separating the groups.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        hops = 1
+        a, b = src // self.radix, dst // self.radix
+        while a != b:
+            hops += 2
+            a //= self.radix
+            b //= self.radix
+        return hops
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(
+                f"node index {node} out of range 0..{self.num_nodes - 1}"
+            )
+
+    def max_hops(self) -> int:
+        """Worst-case switch traversals in this topology."""
+        if self.num_nodes == 1:
+            return 0
+        return self.switch_hops(0, self.num_nodes - 1)

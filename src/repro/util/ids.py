@@ -1,0 +1,54 @@
+"""Monotonic identifier generation.
+
+The formal model (Definitions 2.1 and 2.3 of the paper) works with abstract
+sets of data items and tasks.  Concrete instances need stable, hashable,
+human-readable identities; this module provides them.  Identifiers are
+namespaced (``task:17``, ``item:3``) so that traces and log lines remain
+readable when several entity kinds are interleaved.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdGenerator:
+    """Thread-safe monotonic id generator for a single namespace.
+
+    >>> gen = IdGenerator("task")
+    >>> gen()
+    'task:0'
+    >>> gen()
+    'task:1'
+    """
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def __call__(self) -> str:
+        with self._lock:
+            return f"{self.namespace}:{next(self._counter)}"
+
+    def peek(self) -> str:
+        """Return the identifier the next call would produce (racy; debug only)."""
+        with self._lock:
+            value = next(self._counter)
+            # re-create the counter so peek does not consume an id
+            self._counter = itertools.count(value)
+            return f"{self.namespace}:{value}"
+
+
+_GLOBAL_GENERATORS: dict[str, IdGenerator] = {}
+_GLOBAL_LOCK = threading.Lock()
+
+
+def fresh_id(namespace: str) -> str:
+    """Return a fresh identifier in ``namespace`` from a process-global pool."""
+    with _GLOBAL_LOCK:
+        gen = _GLOBAL_GENERATORS.get(namespace)
+        if gen is None:
+            gen = _GLOBAL_GENERATORS[namespace] = IdGenerator(namespace)
+    return gen()

@@ -1,0 +1,68 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.regions.box import Box, BoxSetRegion
+from repro.regions.explicit import ExplicitSetRegion
+from repro.regions.interval import Interval, IntervalRegion
+from repro.regions.tree import TreeGeometry, TreeRegion
+from repro.regions.blocked_tree import BlockedTreeGeometry, BlockedTreeRegion
+
+
+# -- hypothesis strategies for regions --------------------------------------------
+
+
+def interval_regions(max_coord: int = 24, max_intervals: int = 4):
+    return st.lists(
+        st.tuples(
+            st.integers(0, max_coord), st.integers(0, max_coord)
+        ),
+        max_size=max_intervals,
+    ).map(IntervalRegion)
+
+
+def boxes_2d(max_coord: int = 8):
+    return st.tuples(
+        st.integers(0, max_coord),
+        st.integers(0, max_coord),
+        st.integers(0, max_coord),
+        st.integers(0, max_coord),
+    ).map(lambda t: Box.of((t[0], t[1]), (t[2], t[3])))
+
+
+def box_set_regions(max_coord: int = 8, max_boxes: int = 3):
+    return st.lists(boxes_2d(max_coord), max_size=max_boxes).map(
+        lambda bs: BoxSetRegion(bs, dims=2)
+    )
+
+
+TREE_GEOMETRY = TreeGeometry(5)
+
+
+def tree_regions(geometry: TreeGeometry = TREE_GEOMETRY):
+    return st.lists(
+        st.integers(1, geometry.num_nodes), max_size=8
+    ).map(lambda nodes: TreeRegion.of_nodes(geometry, nodes))
+
+
+BLOCKED_GEOMETRY = BlockedTreeGeometry(depth=6, root_height=3)
+
+
+def blocked_tree_regions(geometry: BlockedTreeGeometry = BLOCKED_GEOMETRY):
+    return st.integers(0, (1 << geometry.mask_length) - 1).map(
+        lambda mask: BlockedTreeRegion(geometry, mask)
+    )
+
+
+def as_explicit(region) -> ExplicitSetRegion:
+    return ExplicitSetRegion(region.elements())
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

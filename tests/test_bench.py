@@ -1,0 +1,124 @@
+"""Tests for the benchmark harness, reporting, and Table 1 regeneration."""
+
+import pytest
+
+from repro.apps.common import AppResult
+from repro.bench.harness import (
+    FIG7_NODE_COUNTS,
+    ScalingPoint,
+    ScalingSeries,
+    parallel_efficiency,
+    sweep,
+)
+from repro.bench.report import (
+    render_series,
+    render_table,
+    render_table1,
+    series_to_csv,
+)
+from repro.bench.tables import TABLE1_ROWS, table1
+
+
+def make_series(values_as, values_mpi, nodes=(1, 2, 4)):
+    series = ScalingSeries(app="x", metric="u/s")
+    for n, a, m in zip(nodes, values_as, values_mpi):
+        series.points.append(ScalingPoint(n, a, m))
+    return series
+
+
+class TestScalingSeries:
+    def test_add_and_accessors(self):
+        series = ScalingSeries(app="a", metric="m")
+        series.add(
+            AppResult("a", "allscale", 2, elapsed=1.0, work=10.0),
+            AppResult("a", "mpi", 2, elapsed=1.0, work=20.0),
+        )
+        point = series.point_at(2)
+        assert point.allscale == 10.0 and point.mpi == 20.0
+        assert point.ratio == pytest.approx(0.5)
+        with pytest.raises(KeyError):
+            series.point_at(99)
+
+    def test_mismatched_nodes_rejected(self):
+        series = ScalingSeries(app="a", metric="m")
+        with pytest.raises(ValueError):
+            series.add(
+                AppResult("a", "allscale", 2, elapsed=1.0, work=1.0),
+                AppResult("a", "mpi", 4, elapsed=1.0, work=1.0),
+            )
+
+    def test_linear_reference(self):
+        series = make_series([100, 190, 350], [120, 240, 480])
+        assert series.linear("allscale") == [100, 200, 400]
+        assert series.linear("mpi") == [120, 240, 480]
+
+    def test_efficiency(self):
+        series = make_series([100, 190, 350], [120, 240, 480])
+        assert parallel_efficiency(series, "allscale") == pytest.approx(0.875)
+        assert parallel_efficiency(series, "mpi") == pytest.approx(1.0)
+
+    def test_speedup(self):
+        series = make_series([100, 200, 300], [100, 100, 100])
+        assert series.speedup("allscale") == [1, 2, 3]
+
+    def test_sweep_runs_both_systems(self):
+        calls = []
+
+        def run(system):
+            def inner(nodes):
+                calls.append((system, nodes))
+                return AppResult("a", system, nodes, elapsed=1.0, work=nodes)
+
+            return inner
+
+        series = sweep("a", "m", (1, 2), run("allscale"), run("mpi"))
+        assert [p.nodes for p in series.points] == [1, 2]
+        assert ("allscale", 1) in calls and ("mpi", 2) in calls
+
+    def test_fig7_axis(self):
+        assert FIG7_NODE_COUNTS == (1, 2, 4, 8, 16, 32, 64)
+
+
+class TestTable1:
+    def test_default_rows_match_paper(self):
+        rows = {row.name: row for row in TABLE1_ROWS}
+        assert rows["stencil"].problem_size == "20,000² elements per node"
+        assert rows["stencil"].metric == "FLOPS"
+        assert rows["iPiC3D"].problem_size == "48 · 10⁶ particles per node"
+        assert rows["iPiC3D"].data_structure == "multiple regular 3D grids"
+        assert rows["TPC"].problem_size == "2^29 points in [0, 100)^7 with radius 20"
+        assert rows["TPC"].metric == "queries per second"
+
+    def test_customized_workloads(self):
+        from repro.apps.stencil import StencilWorkload
+
+        rows = table1(stencil=StencilWorkload(n_per_node=100))
+        assert rows[0].problem_size == "100² elements per node"
+
+
+class TestReports:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_render_table1(self):
+        text = render_table1(TABLE1_ROWS)
+        assert "stencil" in text and "kd-tree" in text
+
+    def test_render_series(self):
+        series = make_series([100, 190, 350], [120, 240, 480])
+        text = render_series(series)
+        assert "Fig. 7" in text
+        assert "AS/MPI" in text
+        assert "400" in text  # linear column
+
+    def test_series_to_csv(self):
+        series = make_series([100.0, 190.0], [120.0, 240.0], nodes=(1, 2))
+        csv = series_to_csv(series)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "app,metric,nodes,allscale,mpi,linear"
+        assert len(lines) == 3
+        assert lines[1].startswith("x,u/s,1,100.0,120.0")

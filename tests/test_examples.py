@@ -1,0 +1,59 @@
+"""Every shipped example runs clean end to end.
+
+The examples are the library's living documentation — each verifies its
+own output against a reference implementation, so running them doubles as
+an integration test of the public API.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=lambda p: p.name
+)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example.name} printed nothing"
+
+
+def test_bench_cli_table1():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "table1"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "stencil" in result.stdout
+    assert "kd-tree" in result.stdout
+
+
+def test_bench_cli_rejects_unknown_artifact():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "nonsense"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0

@@ -1,0 +1,171 @@
+"""Tests for the distributed hash-map data item."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.items.hashmap import HashMapItem
+from repro.regions.interval import IntervalRegion
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+class TestHashMapItem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashMapItem(num_buckets=0)
+        with pytest.raises(ValueError):
+            HashMapItem(bytes_per_bucket=0)
+
+    def test_bucket_of_is_stable_and_in_range(self):
+        item = HashMapItem(num_buckets=32)
+        for key in ("a", "b", 17, (1, 2), "some longer key"):
+            bucket = item.bucket_of(key)
+            assert 0 <= bucket < 32
+            assert item.bucket_of(key) == bucket
+
+    def test_key_region(self):
+        item = HashMapItem(num_buckets=64)
+        keys = ["x", "y", "z"]
+        region = item.key_region(keys)
+        for key in keys:
+            assert region.contains(item.bucket_of(key))
+
+    def test_decompose(self):
+        item = HashMapItem(num_buckets=100)
+        parts = item.decompose(7)
+        assert len(parts) == 7
+        assert sum(p.size() for p in parts) == 100
+
+
+class TestHashMapFragment:
+    def setup_method(self):
+        self.item = HashMapItem(num_buckets=16, name="m")
+        self.fragment = self.item.new_fragment(self.item.full_region)
+
+    def test_put_get_delete(self):
+        self.fragment.put("k", 1)
+        assert self.fragment.get("k") == 1
+        assert self.fragment.get("missing", "d") == "d"
+        assert self.fragment.delete("k")
+        assert not self.fragment.delete("k")
+        assert self.fragment.get("k") is None
+
+    def test_out_of_region_key_rejected(self):
+        key = "hello"
+        bucket = self.item.bucket_of(key)
+        other = self.item.full_region.difference(
+            IntervalRegion.of_points([bucket])
+        )
+        fragment = self.item.new_fragment(other)
+        with pytest.raises(KeyError):
+            fragment.put(key, 1)
+
+    def test_extract_insert_moves_entries(self):
+        self.fragment.put("a", 1)
+        self.fragment.put("b", 2)
+        region = self.item.key_region(["a"])
+        payload = self.fragment.extract(region)
+        other = self.item.new_fragment(self.item.empty_region())
+        other.insert(payload)
+        assert other.get("a") == 1
+        assert other.local_size() >= 1
+
+    def test_resize_drops_out_of_region_entries(self):
+        self.fragment.put("a", 1)
+        bucket = self.item.bucket_of("a")
+        rest = self.item.full_region.difference(
+            IntervalRegion.of_points([bucket])
+        )
+        self.fragment.resize(rest)
+        assert self.fragment.local_size() == 0
+
+    def test_virtual_mode(self):
+        fragment = self.item.new_fragment(
+            self.item.full_region, functional=False
+        )
+        with pytest.raises(RuntimeError):
+            fragment.put("k", 1)
+        payload = fragment.extract(self.item.full_region)
+        assert payload.data is None
+        assert payload.nbytes == 16 * 1024
+
+    @given(
+        st.lists(
+            st.tuples(st.text(max_size=8), st.integers()),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_behaves_like_a_dict(self, pairs):
+        fragment = HashMapItem(num_buckets=8).new_fragment(
+            IntervalRegion.span(0, 8)
+        )
+        reference = {}
+        for key, value in pairs:
+            fragment.put(key, value)
+            reference[key] = value
+        assert dict(fragment.local_items()) == reference
+        assert fragment.local_size() == len(reference)
+
+
+class TestHashMapOnRuntime:
+    def test_runtime_managed_map(self):
+        """The map distributes, and keyed tasks route to bucket owners."""
+        cluster = Cluster(
+            ClusterSpec(num_nodes=4, cores_per_node=2, flops_per_core=1e9)
+        )
+        runtime = AllScaleRuntime(cluster, RuntimeConfig(functional=True))
+        item = HashMapItem(num_buckets=64, name="kv")
+        runtime.register_item(item, placement=item.decompose(4))
+
+        keys = [f"key{k}" for k in range(40)]
+
+        def put_task(key):
+            region = item.key_region([key])
+
+            def body(ctx):
+                ctx.fragment(item).put(key, key.upper())
+
+            return TaskSpec(
+                name=f"put.{key}",
+                writes={item: region},
+                body=body,
+                size_hint=1,
+            )
+
+        for key in keys:
+            runtime.wait(runtime.submit(put_task(key)))
+        runtime.check_ownership_invariants()
+
+        # each entry landed on the process owning its bucket
+        total = 0
+        for pid in range(4):
+            manager = runtime.process(pid).data_manager
+            fragment = manager.fragment(item)
+            for key, value in fragment.local_items():
+                assert value == key.upper()
+                assert manager.owned_region(item).contains(
+                    item.bucket_of(key)
+                )
+                total += 1
+        assert total == len(keys)
+
+        # a read task for one key routes to the owner and sees the value
+        key = keys[7]
+
+        def get_body(ctx):
+            return ctx.fragment(item).get(key)
+
+        value = runtime.wait(
+            runtime.submit(
+                TaskSpec(
+                    name="get",
+                    reads={item: item.key_region([key])},
+                    body=get_body,
+                    size_hint=1,
+                )
+            )
+        )
+        assert value == key.upper()

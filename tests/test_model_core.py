@@ -1,0 +1,154 @@
+"""Unit tests for the static parts of the formal model (Defs. 2.1–2.8)."""
+
+import pytest
+
+from repro.model.actions import Create, Destroy, End, Spawn, Sync, END
+from repro.model.architecture import (
+    ArchitectureModel,
+    ComputeUnit,
+    MemorySpace,
+    distributed_cluster,
+    shared_memory_system,
+)
+from repro.model.elements import DataItemDecl
+from repro.model.execution import TaskContext, VariantExecution
+from repro.model.task import AccessSpec, Program, Task, Variant, simple_task
+from repro.regions.interval import IntervalRegion
+
+
+class TestDataItemDecl:
+    def test_elems_and_size(self):
+        item = DataItemDecl(IntervalRegion.span(0, 20), name="A")
+        assert item.num_elements() == 20
+        assert set(item.elems()) == set(range(20))
+
+    def test_check_region(self):
+        item = DataItemDecl(IntervalRegion.span(0, 10))
+        item.check_region(IntervalRegion.span(2, 5))
+        with pytest.raises(ValueError):
+            item.check_region(IntervalRegion.span(5, 15))
+
+    def test_identity_by_object(self):
+        a = DataItemDecl(IntervalRegion.span(0, 5))
+        b = DataItemDecl(IntervalRegion.span(0, 5))
+        assert a is not b and a != b or a.name != b.name
+
+
+class TestAccessSpec:
+    def setup_method(self):
+        self.item = DataItemDecl(IntervalRegion.span(0, 100), name="d")
+
+    def test_empty_defaults(self):
+        spec = AccessSpec()
+        assert spec.read(self.item).is_empty()
+        assert spec.write(self.item).is_empty()
+        assert spec.is_empty()
+        assert spec.items() == frozenset()
+
+    def test_read_write_accessed(self):
+        spec = AccessSpec(
+            reads={self.item: IntervalRegion.span(0, 10)},
+            writes={self.item: IntervalRegion.span(5, 15)},
+        )
+        assert spec.read(self.item).size() == 10
+        assert spec.write(self.item).size() == 10
+        assert spec.accessed(self.item).size() == 15
+        assert spec.items() == {self.item}
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AccessSpec(reads={self.item: IntervalRegion.span(50, 200)})
+
+    def test_empty_regions_dropped(self):
+        spec = AccessSpec(reads={self.item: IntervalRegion.empty()})
+        assert spec.is_empty()
+
+
+class TestTaskAndVariants:
+    def test_variant_only_via_task(self):
+        task = Task("t")
+        with pytest.raises(TypeError):
+            Variant(task, lambda ctx: iter(()), AccessSpec())
+
+    def test_variants_bound_to_task(self):
+        task = Task("t")
+        v = task.add_variant(lambda ctx: iter(()))
+        assert v.task is task
+        assert task.variants == (v,)
+
+    def test_well_formedness(self):
+        with pytest.raises(ValueError):
+            Task("empty").check_well_formed()
+        assert simple_task(lambda ctx: iter(())).check_well_formed()
+
+    def test_program_requires_variant(self):
+        with pytest.raises(ValueError):
+            Program(Task("empty"))
+
+
+class TestVariantExecution:
+    def test_trace_ends_with_end(self):
+        def body(ctx):
+            yield ctx.create(item)
+
+        item = DataItemDecl(IntervalRegion.span(0, 5))
+        task = simple_task(body)
+        execution = VariantExecution.init(task.variants[0])
+        first = execution.step()
+        assert isinstance(first, Create)
+        second = execution.step()
+        assert isinstance(second, End)
+        assert execution.finished
+        with pytest.raises(RuntimeError):
+            execution.step()
+
+    def test_non_action_yield_rejected(self):
+        def body(ctx):
+            yield 42
+
+        task = simple_task(body)
+        execution = VariantExecution.init(task.variants[0])
+        with pytest.raises(TypeError):
+            execution.step()
+
+    def test_context_builds_actions(self):
+        task = simple_task(lambda ctx: iter(()))
+        child = simple_task(lambda ctx: iter(()))
+        item = DataItemDecl(IntervalRegion.span(0, 1))
+        ctx = TaskContext(task.variants[0])
+        assert isinstance(ctx.spawn(child), Spawn)
+        assert isinstance(ctx.sync(child), Sync)
+        assert isinstance(ctx.create(item), Create)
+        assert isinstance(ctx.destroy(item), Destroy)
+        assert END == End()
+
+
+class TestArchitecture:
+    def test_example_2_4(self):
+        arch = distributed_cluster(2, 4)
+        assert len(arch.compute_units) == 8
+        assert len(arch.memories) == 2
+        assert len(arch.links) == 8
+        # each unit accesses exactly its node's memory
+        for unit in arch.compute_units:
+            assert len(arch.accessible_memories(unit)) == 1
+
+    def test_shared_memory(self):
+        arch = shared_memory_system(4)
+        memory = next(iter(arch.memories))
+        assert arch.units_with_access(memory) == arch.compute_units
+
+    def test_link_validation(self):
+        c = ComputeUnit("c")
+        m = MemorySpace("m")
+        with pytest.raises(ValueError):
+            ArchitectureModel([c], [], [(c, m)])
+
+    def test_to_networkx_bipartite(self):
+        graph = distributed_cluster(2, 2).to_networkx()
+        assert graph.number_of_nodes() == 6
+        assert graph.number_of_edges() == 4
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            distributed_cluster(0, 1)

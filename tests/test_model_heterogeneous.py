@@ -1,0 +1,120 @@
+"""GPU offloading expressed purely through the formal model (Def. 2.8).
+
+The architecture model's generality claim: GPUs are just compute units
+linked to device address spaces.  These tests show the transition rules —
+unchanged — force the offload protocol: data must be replicated/migrated
+into device memory before the start rule admits a GPU placement, and
+exclusive writes hold across host and device copies.
+"""
+
+import pytest
+
+from repro.model import transitions as rules
+from repro.model.architecture import heterogeneous_cluster
+from repro.model.elements import DataItemDecl
+from repro.model.interpreter import Interpreter, InterpreterConfig
+from repro.model.properties import check_exclusive_writes, check_terminal
+from repro.model.state import initial_state
+from repro.model.task import AccessSpec, Program, simple_task
+from repro.regions.interval import IntervalRegion
+
+
+def noop(ctx):
+    return
+    yield  # pragma: no cover
+
+
+def find(arch, name):
+    for unit in arch.compute_units:
+        if unit.name == name:
+            return unit
+    for memory in arch.memories:
+        if memory.name == name:
+            return memory
+    raise KeyError(name)
+
+
+class TestHeterogeneousArchitecture:
+    def test_shape(self):
+        arch = heterogeneous_cluster(2, cores_per_node=2, gpus_per_node=1)
+        assert len(arch.compute_units) == 2 * 3
+        assert len(arch.memories) == 2 * 2
+        gpu = find(arch, "g0.0")
+        assert arch.accessible_memories(gpu) == {find(arch, "m0.gpu0")}
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            heterogeneous_cluster(0)
+
+
+class TestModelLevelOffload:
+    def setup_method(self):
+        self.arch = heterogeneous_cluster(1, cores_per_node=1, gpus_per_node=1)
+        self.host = find(self.arch, "m0")
+        self.device = find(self.arch, "m0.gpu0")
+        self.cpu = find(self.arch, "c0.0")
+        self.gpu = find(self.arch, "g0.0")
+        self.item = DataItemDecl(IntervalRegion.span(0, 16), name="d")
+
+    def test_gpu_start_requires_device_data(self):
+        reqs = AccessSpec(reads={self.item: IntervalRegion.span(0, 8)})
+        task = simple_task(noop, reqs, name="kernel")
+        state = initial_state(self.arch, task)
+        state.items.add(self.item)
+        # data on the host only: the CPU can start the task, the GPU cannot
+        rules.apply_init(state, self.host, self.item, IntervalRegion.span(0, 16))
+        units = {c.unit for c in rules.enabled_starts(state)}
+        assert units == {self.cpu}
+        # replicate into device memory: now the GPU qualifies too
+        rules.apply_replicate(
+            state, self.host, self.device, self.item, IntervalRegion.span(0, 8)
+        )
+        units = {c.unit for c in rules.enabled_starts(state)}
+        assert units == {self.cpu, self.gpu}
+
+    def test_device_write_requires_exclusive_device_copy(self):
+        reqs = AccessSpec(writes={self.item: IntervalRegion.span(0, 4)})
+        task = simple_task(noop, reqs, name="kernel")
+        state = initial_state(self.arch, task)
+        state.items.add(self.item)
+        rules.apply_init(state, self.host, self.item, IntervalRegion.span(0, 16))
+        rules.apply_replicate(
+            state, self.host, self.device, self.item, IntervalRegion.span(0, 4)
+        )
+        # both copies exist: neither CPU nor GPU may start a writer
+        assert list(rules.enabled_starts(state)) == []
+        # migrate the host copy away (drop the replica): GPU-exclusive now
+        rules.apply_migrate(
+            state, self.host, self.device, self.item, IntervalRegion.span(0, 4)
+        )
+        units = {c.unit for c in rules.enabled_starts(state)}
+        assert units == {self.gpu}
+        candidate = next(
+            c for c in rules.enabled_starts(state) if c.unit == self.gpu
+        )
+        entry = rules.apply_start(state, candidate)
+        check_exclusive_writes(state)
+        assert entry.binding[self.item] == self.device
+
+    def test_offload_program_terminates_end_to_end(self):
+        """A full program whose worker must run somewhere data can follow."""
+        reqs = AccessSpec(
+            reads={self.item: IntervalRegion.span(0, 16)},
+            writes={self.item: IntervalRegion.span(0, 16)},
+        )
+        worker = simple_task(noop, reqs, name="kernel")
+
+        def main(ctx):
+            yield ctx.create(self.item)
+            yield ctx.spawn(worker)
+            yield ctx.sync(worker)
+            yield ctx.destroy(self.item)
+
+        program = Program(simple_task(main, name="main"))
+        for seed in range(10):
+            interp = Interpreter(
+                InterpreterConfig(seed=seed, chaos_data_ops=0.3,
+                                  max_transitions=5000)
+            )
+            trace, state = interp.run_to_completion(program, self.arch)
+            check_terminal(state)

@@ -1,0 +1,156 @@
+"""Interpreter tests: programs run to terminal states under many schedules."""
+
+import pytest
+
+from repro.model.architecture import distributed_cluster, shared_memory_system
+from repro.model.elements import DataItemDecl
+from repro.model.interpreter import (
+    DeadlockError,
+    Interpreter,
+    InterpreterConfig,
+)
+from repro.model.properties import (
+    check_exclusive_writes,
+    check_single_execution,
+    check_terminal,
+)
+from repro.model.task import AccessSpec, Program, Task, simple_task
+from repro.regions.interval import IntervalRegion
+
+
+def noop(ctx):
+    return
+    yield  # pragma: no cover
+
+
+def fork_join_program(width=3, item=None):
+    """Entry task creates an item, spawns `width` children, syncs, destroys."""
+    item = item or DataItemDecl(IntervalRegion.span(0, 60), name="data")
+    children = []
+    per = 60 // width
+    for k in range(width):
+        reqs = AccessSpec(
+            reads={item: IntervalRegion.span(max(0, k * per - 1), min(60, (k + 1) * per + 1))},
+            writes={item: IntervalRegion.span(k * per, (k + 1) * per)},
+        )
+        children.append(simple_task(noop, reqs, name=f"child{k}"))
+
+    def main(ctx):
+        yield ctx.create(item)
+        for child in children:
+            yield ctx.spawn(child)
+        for child in children:
+            yield ctx.sync(child)
+        yield ctx.destroy(item)
+
+    return Program(simple_task(main, name="main")), item, children
+
+
+class TestTermination:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fork_join_terminates(self, seed):
+        program, _, _ = fork_join_program()
+        interp = Interpreter(InterpreterConfig(seed=seed, max_transitions=3000))
+        trace, state = interp.run_to_completion(
+            program, distributed_cluster(2, 2)
+        )
+        assert trace.terminated
+        check_terminal(state)
+        check_single_execution(trace, state)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_terminates_under_chaos(self, seed):
+        program, _, _ = fork_join_program()
+        interp = Interpreter(
+            InterpreterConfig(seed=seed, chaos_data_ops=0.4, max_transitions=6000)
+        )
+        trace, state = interp.run_to_completion(
+            program, distributed_cluster(3, 1)
+        )
+        check_terminal(state)
+        check_exclusive_writes(state)
+
+    def test_shared_memory_architecture(self):
+        program, _, _ = fork_join_program()
+        interp = Interpreter(InterpreterConfig(seed=0))
+        trace, state = interp.run_to_completion(
+            program, shared_memory_system(4)
+        )
+        check_terminal(state)
+
+    def test_single_unit_architecture(self):
+        program, _, _ = fork_join_program(width=2)
+        interp = Interpreter(InterpreterConfig(seed=0))
+        trace, state = interp.run_to_completion(
+            program, distributed_cluster(1, 1)
+        )
+        check_terminal(state)
+
+
+class TestDeadlocks:
+    def test_sync_on_never_spawned_task_deadlocks(self):
+        orphan = simple_task(noop, name="orphan-variant-holder")
+        # a task that syncs on a task nobody ever spawns... but the guard
+        # `t ∉ Q ∧ no variant running/blocked` is then TRUE, so `continue`
+        # fires — the model treats never-spawned tasks as trivially done.
+        def main(ctx):
+            yield ctx.sync(orphan)
+
+        interp = Interpreter(InterpreterConfig(seed=0))
+        trace, state = interp.run(
+            Program(simple_task(main)), distributed_cluster(1, 1)
+        )
+        assert trace.terminated  # documents the model's literal reading
+
+    def test_mutual_sync_deadlocks(self):
+        a = Task("a")
+        b = Task("b")
+        a.add_variant(lambda ctx: iter([ctx.sync(b)]))
+        b.add_variant(lambda ctx: iter([ctx.sync(a)]))
+
+        def main(ctx):
+            yield ctx.spawn(a)
+            yield ctx.spawn(b)
+            yield ctx.sync(a)
+
+        interp = Interpreter(InterpreterConfig(seed=3, max_transitions=500))
+        trace, state = interp.run(
+            Program(simple_task(main)), distributed_cluster(1, 2)
+        )
+        assert trace.deadlocked
+        with pytest.raises(DeadlockError):
+            interp.run_to_completion(
+                Program(simple_task(main, name="main2")),
+                distributed_cluster(1, 2),
+            )
+
+
+class TestTraces:
+    def test_trace_event_kinds(self):
+        program, _, _ = fork_join_program(width=2)
+        interp = Interpreter(InterpreterConfig(seed=1, record_snapshots=True))
+        trace, state = interp.run_to_completion(
+            program, distributed_cluster(2, 1)
+        )
+        kinds = {e.kind for e in trace.events}
+        assert {"start", "spawn", "sync", "end", "create", "destroy"} <= kinds
+        # data had to be initialized for children to run
+        assert trace.events_of_kind("init")
+        # snapshots recorded and final snapshot terminal
+        assert trace.events[-1].snapshot is not None
+        assert trace.events[-1].snapshot.is_terminal()
+
+    def test_progress_step_count(self):
+        program, _, children = fork_join_program(width=2)
+        interp = Interpreter(InterpreterConfig(seed=1))
+        trace, _ = interp.run_to_completion(program, distributed_cluster(2, 1))
+        # progress steps: 3 starts + main's 7 actions (2 spawn, 2 sync,
+        # create, destroy, end) + 2 child ends + 2 continues after syncs
+        assert trace.progress_steps() == 3 + 7 + 2 + 2
+
+    def test_data_ends_where_last_written(self):
+        program, item, _ = fork_join_program(width=2)
+        interp = Interpreter(InterpreterConfig(seed=2))
+        trace, state = interp.run_to_completion(program, distributed_cluster(2, 1))
+        # item destroyed: nothing remains
+        assert not state.distribution

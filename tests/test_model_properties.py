@@ -1,0 +1,154 @@
+"""Property-based checks of the §2.5 model properties.
+
+Random fork-join programs (random widths, region layouts, sync orders) are
+executed under random schedules with chaotic runtime-initiated data
+operations interleaved; the invariants of §2.5 must survive every
+interleaving, and data preservation is checked transition-by-transition by
+instrumenting coverage snapshots.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import transitions as rules
+from repro.model.architecture import distributed_cluster
+from repro.model.elements import DataItemDecl
+from repro.model.interpreter import Interpreter, InterpreterConfig
+from repro.model.properties import (
+    PropertyViolation,
+    capture_coverage,
+    check_data_preservation,
+    check_exclusive_writes,
+    check_satisfied_requirements,
+    check_single_execution,
+    check_terminal,
+)
+from repro.model.state import initial_state
+from repro.model.task import AccessSpec, Program, simple_task
+from repro.regions.interval import IntervalRegion
+
+
+def noop(ctx):
+    return
+    yield  # pragma: no cover
+
+
+def build_program(widths, total=48):
+    """Nested fork-join: entry spawns len(widths) rounds of children."""
+    item = DataItemDecl(IntervalRegion.span(0, total), name="data")
+    rounds = []
+    for r, width in enumerate(widths):
+        children = []
+        per = total // max(1, width)
+        for k in range(width):
+            lo, hi = k * per, min(total, (k + 1) * per)
+            reqs = AccessSpec(
+                reads={item: IntervalRegion.span(max(0, lo - 2), min(total, hi + 2))},
+                writes={item: IntervalRegion.span(lo, hi)},
+            )
+            children.append(simple_task(noop, reqs, name=f"r{r}c{k}"))
+        rounds.append(children)
+
+    def main(ctx):
+        yield ctx.create(item)
+        for children in rounds:
+            for child in children:
+                yield ctx.spawn(child)
+            for child in children:
+                yield ctx.sync(child)
+        yield ctx.destroy(item)
+
+    return Program(simple_task(main, name="main")), item
+
+
+@given(
+    widths=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+    seed=st.integers(0, 10_000),
+    chaos=st.floats(0.0, 0.5),
+    nodes=st.integers(1, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_invariants_hold_under_random_schedules(widths, seed, chaos, nodes):
+    program, item = build_program(widths)
+    arch = distributed_cluster(nodes, 2)
+    interp = Interpreter(
+        InterpreterConfig(seed=seed, chaos_data_ops=chaos, max_transitions=20_000)
+    )
+    trace, state = interp.run_to_completion(program, arch)
+    check_terminal(state)
+    check_single_execution(trace, state)
+    check_exclusive_writes(state)
+    check_satisfied_requirements(state)  # vacuous at terminal, must not raise
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_mid_execution_invariants(seed):
+    """Exclusive writes + satisfied requirements hold at *every* state."""
+    program, item = build_program([3, 2])
+    arch = distributed_cluster(3, 1)
+    interp = Interpreter(
+        InterpreterConfig(seed=seed, chaos_data_ops=0.3, max_transitions=20_000)
+    )
+    # re-implement the run loop with per-step checks
+    rng = random.Random(seed)
+    state = initial_state(arch, program.entry)
+    from repro.model.interpreter import Trace
+
+    trace = Trace(initial=state.snapshot())
+    coverage = capture_coverage(state)
+    destroyed = set()
+    for _ in range(20_000):
+        if state.is_terminal():
+            break
+        items_before = set(state.items)
+        fired = interp._fire_one(state, trace, rng)
+        if not fired:
+            raise AssertionError("unexpected deadlock")
+        check_exclusive_writes(state)
+        check_satisfied_requirements(state)
+        destroyed |= items_before - state.items
+        check_data_preservation(coverage, state, destroyed)
+        coverage = capture_coverage(state)
+    assert state.is_terminal()
+
+
+def test_data_preservation_detects_loss():
+    arch = distributed_cluster(2, 1)
+    item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+    state = initial_state(arch, simple_task(noop))
+    state.items.add(item)
+    memory = sorted(arch.memories, key=lambda m: m.name)[0]
+    rules.apply_init(state, memory, item, IntervalRegion.span(0, 10))
+    before = capture_coverage(state)
+    # simulate an illegal loss
+    state.set_present(memory, item, IntervalRegion.span(0, 5))
+    with pytest.raises(PropertyViolation):
+        check_data_preservation(before, state)
+
+
+def test_replica_removal_is_not_a_preservation_violation():
+    arch = distributed_cluster(2, 1)
+    item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+    state = initial_state(arch, simple_task(noop))
+    state.items.add(item)
+    m0, m1 = sorted(arch.memories, key=lambda m: m.name)
+    region = IntervalRegion.span(0, 10)
+    rules.apply_init(state, m0, item, region)
+    rules.apply_replicate(state, m0, m1, item, region)
+    before = capture_coverage(state)
+    # drop the replica via migrate-onto-copy (Appendix A.2.5)
+    rules.apply_migrate(state, m1, m0, item, region)
+    check_data_preservation(before, state)
+
+
+def test_single_execution_detects_double_start():
+    program, _ = build_program([2])
+    arch = distributed_cluster(1, 1)
+    interp = Interpreter(InterpreterConfig(seed=0))
+    trace, state = interp.run_to_completion(program, arch)
+    state.started.append(state.started[0])  # forge a duplicate start
+    with pytest.raises(PropertyViolation):
+        check_single_execution(trace, state)

@@ -1,0 +1,250 @@
+"""Unit tests for the ten transition rules (Figs. 2 and 3)."""
+
+import pytest
+
+from repro.model import transitions as rules
+from repro.model.actions import Create, End, Spawn, Sync
+from repro.model.architecture import distributed_cluster
+from repro.model.elements import DataItemDecl
+from repro.model.state import initial_state
+from repro.model.task import AccessSpec, Program, simple_task
+from repro.regions.interval import IntervalRegion
+
+
+def make_world(nodes=2, cores=1):
+    arch = distributed_cluster(nodes, cores)
+    memories = sorted(arch.memories, key=lambda m: m.name)
+    units = sorted(arch.compute_units, key=lambda c: c.name)
+    return arch, memories, units
+
+
+def noop_body(ctx):
+    return
+    yield  # pragma: no cover
+
+
+class TestStartRule:
+    def test_start_without_requirements(self):
+        arch, _, units = make_world()
+        task = simple_task(noop_body, name="t")
+        state = initial_state(arch, task)
+        candidates = list(rules.enabled_starts(state))
+        # any compute unit may take it
+        assert len(candidates) == len(units)
+        entry = rules.apply_start(state, candidates[0])
+        assert task not in state.queued
+        assert entry in state.running
+
+    def test_start_blocked_until_data_present(self):
+        arch, memories, units = make_world()
+        item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+        reqs = AccessSpec(reads={item: IntervalRegion.span(0, 5)})
+        task = simple_task(noop_body, reqs)
+        state = initial_state(arch, task)
+        state.items.add(item)
+        assert list(rules.enabled_starts(state)) == []
+        rules.apply_init(state, memories[0], item, IntervalRegion.span(0, 5))
+        candidates = list(rules.enabled_starts(state))
+        assert candidates
+        # only units linked to memories[0] qualify
+        for c in candidates:
+            assert state.architecture.can_access(c.unit, memories[0])
+
+    def test_start_installs_locks(self):
+        arch, memories, _ = make_world()
+        item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+        reqs = AccessSpec(
+            reads={item: IntervalRegion.span(0, 4)},
+            writes={item: IntervalRegion.span(4, 8)},
+        )
+        task = simple_task(noop_body, reqs)
+        state = initial_state(arch, task)
+        state.items.add(item)
+        rules.apply_init(state, memories[0], item, IntervalRegion.span(0, 10))
+        candidate = next(rules.enabled_starts(state))
+        rules.apply_start(state, candidate)
+        variant = task.variants[0]
+        memory = candidate.binding[item]
+        assert state.read_locks[(variant, memory, item)].size() == 4
+        assert state.write_locks[(variant, memory, item)].size() == 4
+
+    def test_write_replica_blocks_start(self):
+        # D ∩ Dw ≠ ∅: a replica of the write region elsewhere disables start
+        arch, memories, _ = make_world()
+        item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+        reqs = AccessSpec(writes={item: IntervalRegion.span(0, 5)})
+        task = simple_task(noop_body, reqs)
+        state = initial_state(arch, task)
+        state.items.add(item)
+        rules.apply_init(state, memories[0], item, IntervalRegion.span(0, 10))
+        rules.apply_replicate(
+            state, memories[0], memories[1], item, IntervalRegion.span(0, 5)
+        )
+        assert list(rules.enabled_starts(state)) == []
+
+    def test_apply_start_guard_enforced(self):
+        arch, memories, units = make_world()
+        item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+        reqs = AccessSpec(reads={item: IntervalRegion.span(0, 5)})
+        task = simple_task(noop_body, reqs)
+        state = initial_state(arch, task)
+        bad = rules.StartCandidate(
+            task, task.variants[0], units[0], {item: memories[0]}
+        )
+        with pytest.raises(rules.TransitionError):
+            rules.apply_start(state, bad)
+
+
+class TestProgressRules:
+    def test_spawn_sync_continue_end(self):
+        arch, _, _ = make_world()
+        child = simple_task(noop_body, name="child")
+
+        def parent_body(ctx):
+            yield ctx.spawn(child)
+            yield ctx.sync(child)
+
+        parent = simple_task(parent_body, name="parent")
+        state = initial_state(arch, parent)
+        entry = rules.apply_start(state, next(rules.enabled_starts(state)))
+        # spawn
+        action = rules.apply_progress(state, entry)
+        assert isinstance(action, Spawn)
+        assert child in state.queued
+        # sync: parent blocks
+        action = rules.apply_progress(state, entry)
+        assert isinstance(action, Sync)
+        assert not state.running and len(state.blocked) == 1
+        blocked = state.blocked[0]
+        # continue disabled while child is queued
+        assert not rules.continue_guard(state, blocked)
+        child_entry = rules.apply_start(state, next(rules.enabled_starts(state)))
+        assert not rules.continue_guard(state, blocked)
+        # child ends
+        action = rules.apply_progress(state, child_entry)
+        assert isinstance(action, End)
+        assert rules.continue_guard(state, blocked)
+        resumed = rules.apply_continue(state, blocked)
+        # parent ends
+        action = rules.apply_progress(state, resumed)
+        assert isinstance(action, End)
+        assert state.is_terminal()
+
+    def test_double_spawn_rejected(self):
+        arch, _, _ = make_world()
+        child = simple_task(noop_body, name="child")
+
+        def body(ctx):
+            yield ctx.spawn(child)
+            yield ctx.spawn(child)
+
+        state = initial_state(arch, simple_task(body))
+        entry = rules.apply_start(state, next(rules.enabled_starts(state)))
+        rules.apply_progress(state, entry)
+        with pytest.raises(rules.TransitionError):
+            rules.apply_progress(state, entry)
+
+    def test_create_and_destroy(self):
+        arch, memories, _ = make_world()
+        item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+
+        def body(ctx):
+            yield ctx.create(item)
+            yield ctx.destroy(item)
+
+        state = initial_state(arch, simple_task(body))
+        entry = rules.apply_start(state, next(rules.enabled_starts(state)))
+        action = rules.apply_progress(state, entry)
+        assert isinstance(action, Create)
+        assert item in state.items
+        rules.apply_init(state, memories[0], item, IntervalRegion.span(0, 10))
+        rules.apply_progress(state, entry)  # destroy
+        assert item not in state.items
+        assert state.present_region(memories[0], item).is_empty()
+
+    def test_end_releases_locks(self):
+        arch, memories, _ = make_world()
+        item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+        reqs = AccessSpec(writes={item: IntervalRegion.span(0, 5)})
+        task = simple_task(noop_body, reqs)
+        state = initial_state(arch, task)
+        state.items.add(item)
+        rules.apply_init(state, memories[0], item, IntervalRegion.span(0, 10))
+        entry = rules.apply_start(state, next(rules.enabled_starts(state)))
+        assert state.write_locks
+        rules.apply_progress(state, entry)  # end
+        assert not state.write_locks
+
+
+class TestDataRules:
+    def setup_method(self):
+        self.arch, self.memories, _ = make_world()
+        self.item = DataItemDecl(IntervalRegion.span(0, 100), name="d")
+        self.state = initial_state(self.arch, simple_task(noop_body))
+        self.state.items.add(self.item)
+
+    def test_init_requires_absence(self):
+        m0, m1 = self.memories
+        region = IntervalRegion.span(0, 50)
+        assert rules.init_guard(self.state, m0, self.item, region)
+        rules.apply_init(self.state, m0, self.item, region)
+        # overlapping init anywhere is now disabled
+        assert not rules.init_guard(
+            self.state, m1, self.item, IntervalRegion.span(40, 60)
+        )
+        assert rules.init_guard(
+            self.state, m1, self.item, IntervalRegion.span(50, 60)
+        )
+
+    def test_init_empty_region_disabled(self):
+        assert not rules.init_guard(
+            self.state, self.memories[0], self.item, IntervalRegion.empty()
+        )
+
+    def test_migrate_moves_data(self):
+        m0, m1 = self.memories
+        rules.apply_init(self.state, m0, self.item, IntervalRegion.span(0, 50))
+        rules.apply_migrate(
+            self.state, m0, m1, self.item, IntervalRegion.span(10, 20)
+        )
+        assert self.state.present_region(m0, self.item).size() == 40
+        assert self.state.present_region(m1, self.item).size() == 10
+
+    def test_migrate_requires_presence_at_source(self):
+        m0, m1 = self.memories
+        assert not rules.migrate_guard(
+            self.state, m0, m1, self.item, IntervalRegion.span(0, 5)
+        )
+
+    def test_replicate_copies_data(self):
+        m0, m1 = self.memories
+        rules.apply_init(self.state, m0, self.item, IntervalRegion.span(0, 50))
+        rules.apply_replicate(
+            self.state, m0, m1, self.item, IntervalRegion.span(0, 10)
+        )
+        assert self.state.present_region(m0, self.item).size() == 50
+        assert self.state.present_region(m1, self.item).size() == 10
+
+    def test_locks_block_migration_and_replication(self):
+        m0, m1 = self.memories
+        region = IntervalRegion.span(0, 10)
+        rules.apply_init(self.state, m0, self.item, IntervalRegion.span(0, 50))
+        variant = simple_task(noop_body).variants[0]
+        self.state.write_locks[(variant, m0, self.item)] = region
+        assert not rules.migrate_guard(self.state, m0, m1, self.item, region)
+        assert not rules.replicate_guard(self.state, m0, m1, self.item, region)
+        # read locks block migration but not replication
+        del self.state.write_locks[(variant, m0, self.item)]
+        self.state.read_locks[(variant, m0, self.item)] = region
+        assert not rules.migrate_guard(self.state, m0, m1, self.item, region)
+        assert rules.replicate_guard(self.state, m0, m1, self.item, region)
+
+    def test_replica_removal_via_migrate(self):
+        # Appendix A.2.5: eliminating a replica by migrating onto a copy
+        m0, m1 = self.memories
+        region = IntervalRegion.span(0, 10)
+        rules.apply_init(self.state, m0, self.item, region)
+        rules.apply_replicate(self.state, m0, m1, self.item, region)
+        rules.apply_migrate(self.state, m0, m1, self.item, region)
+        assert self.state.present_region(m0, self.item).is_empty()
+        assert self.state.present_region(m1, self.item).size() == 10

@@ -1,0 +1,148 @@
+"""Tests for the value semantics layer (§2.1's ``val`` function).
+
+Versions stand in for values: equal versions ⇒ equal values (computational
+equivalence of variants).  The coherence and freshness properties are
+checked both on hand-driven transitions and — via the interpreter's
+observer hooks — across randomized executions with chaotic data
+management.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import transitions as rules
+from repro.model.architecture import distributed_cluster
+from repro.model.elements import DataItemDecl
+from repro.model.interpreter import Interpreter, InterpreterConfig
+from repro.model.state import initial_state
+from repro.model.task import AccessSpec, Program, simple_task
+from repro.model.values import CoherenceViolation, VersionTracker
+from repro.regions.interval import IntervalRegion
+
+from tests.test_model_properties import build_program
+
+
+def noop(ctx):
+    return
+    yield  # pragma: no cover
+
+
+class TestVersionBookkeeping:
+    def setup_method(self):
+        self.arch = distributed_cluster(2, 1)
+        self.m0, self.m1 = sorted(self.arch.memories, key=lambda m: m.name)
+        self.item = DataItemDecl(IntervalRegion.span(0, 10), name="d")
+        self.state = initial_state(self.arch, simple_task(noop))
+        self.state.items.add(self.item)
+        self.tracker = VersionTracker()
+
+    def test_init_stamps_version_zero(self):
+        region = IntervalRegion.span(0, 5)
+        rules.apply_init(self.state, self.m0, self.item, region)
+        self.tracker.on_init(self.m0, self.item, region)
+        assert self.tracker.version(self.m0, self.item, 3) == 0
+        assert self.tracker.version(self.m0, self.item, 7) is None
+        self.tracker.check_consistent_with_distribution(self.state)
+
+    def test_migrate_carries_versions(self):
+        region = IntervalRegion.span(0, 5)
+        rules.apply_init(self.state, self.m0, self.item, region)
+        self.tracker.on_init(self.m0, self.item, region)
+        rules.apply_migrate(self.state, self.m0, self.m1, self.item, region)
+        self.tracker.on_migrate(self.m0, self.m1, self.item, region)
+        assert self.tracker.version(self.m0, self.item, 1) is None
+        assert self.tracker.version(self.m1, self.item, 1) == 0
+        self.tracker.check_consistent_with_distribution(self.state)
+
+    def test_replicate_copies_versions(self):
+        region = IntervalRegion.span(0, 5)
+        rules.apply_init(self.state, self.m0, self.item, region)
+        self.tracker.on_init(self.m0, self.item, region)
+        rules.apply_replicate(self.state, self.m0, self.m1, self.item, region)
+        self.tracker.on_replicate(self.m0, self.m1, self.item, region)
+        assert self.tracker.copies_of(self.item, 2) == [0, 0]
+        self.tracker.check_replica_coherence(self.state)
+
+    def test_write_bumps_versions(self):
+        region = IntervalRegion.span(0, 10)
+        rules.apply_init(self.state, self.m0, self.item, region)
+        self.tracker.on_init(self.m0, self.item, region)
+        write = IntervalRegion.span(2, 4)
+        task = simple_task(noop, AccessSpec(writes={self.item: write}))
+        self.state.queued.add(task)
+        self.state.spawned.add(task)
+        candidate = next(
+            c for c in rules.enabled_starts(self.state) if c.task is task
+        )
+        entry = rules.apply_start(self.state, candidate)
+        self.tracker.on_start(self.state, entry)
+        self.tracker.on_variant_end(self.state, entry.variant)
+        assert self.tracker.version(self.m0, self.item, 2) == 1
+        assert self.tracker.version(self.m0, self.item, 5) == 0
+        assert self.tracker.newest_version(self.item, 3) == 1
+
+    def test_divergent_copies_detected(self):
+        region = IntervalRegion.span(0, 3)
+        rules.apply_init(self.state, self.m0, self.item, region)
+        self.tracker.on_init(self.m0, self.item, region)
+        rules.apply_replicate(self.state, self.m0, self.m1, self.item, region)
+        self.tracker.on_replicate(self.m0, self.m1, self.item, region)
+        # forge a divergence (a buggy runtime writing through a replica)
+        self.tracker._versions[(self.m1, self.item)][1] = 7
+        with pytest.raises(CoherenceViolation):
+            self.tracker.check_replica_coherence(self.state)
+
+    def test_stale_read_detected(self):
+        region = IntervalRegion.span(0, 5)
+        rules.apply_init(self.state, self.m0, self.item, region)
+        self.tracker.on_init(self.m0, self.item, region)
+        read = IntervalRegion.span(0, 2)
+        task = simple_task(noop, AccessSpec(reads={self.item: read}))
+        self.state.queued.add(task)
+        self.state.spawned.add(task)
+        candidate = next(
+            c for c in rules.enabled_starts(self.state) if c.task is task
+        )
+        entry = rules.apply_start(self.state, candidate)
+        # forge a newer version elsewhere
+        self.tracker._versions[(self.m1, self.item)] = {0: 5}
+        with pytest.raises(CoherenceViolation):
+            self.tracker.check_read_freshness(self.state, entry)
+
+    def test_destroy_forgets_item(self):
+        region = IntervalRegion.span(0, 5)
+        rules.apply_init(self.state, self.m0, self.item, region)
+        self.tracker.on_init(self.m0, self.item, region)
+        self.tracker.on_destroy(self.item)
+        assert self.tracker.copies_of(self.item, 1) == []
+
+
+@given(
+    widths=st.lists(st.integers(1, 4), min_size=1, max_size=3),
+    seed=st.integers(0, 10_000),
+    chaos=st.floats(0.0, 0.5),
+    nodes=st.integers(1, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_coherence_and_freshness_under_random_schedules(
+    widths, seed, chaos, nodes
+):
+    """Every start in every interleaving reads fresh, coherent data.
+
+    The VersionTracker raises from its ``on_start`` hook if a variant ever
+    begins with a stale copy or while divergent copies exist — which the
+    exclusive-writes discipline must prevent.
+    """
+    program, _item = build_program(widths)
+    tracker = VersionTracker()
+    interp = Interpreter(
+        InterpreterConfig(
+            seed=seed, chaos_data_ops=chaos, max_transitions=20_000
+        ),
+        observer=tracker,
+    )
+    trace, state = interp.run_to_completion(
+        program, distributed_cluster(nodes, 2)
+    )
+    tracker.check_replica_coherence(state)
+    tracker.check_consistent_with_distribution(state)

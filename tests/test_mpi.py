@@ -1,0 +1,200 @@
+"""Tests for the simulated MPI substrate: p2p, collectives, halo exchange."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.comm import MpiWorld
+from repro.mpi.halo import exchange_step, plan_halo_exchange
+from repro.mpi.program import run_spmd
+from repro.regions.box import Box, grid_block_decomposition
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+def make_cluster(nodes, cores=2):
+    return Cluster(
+        ClusterSpec(num_nodes=nodes, cores_per_node=cores, flops_per_core=1e9)
+    )
+
+
+class TestPointToPoint:
+    def test_send_recv_value(self):
+        cluster = make_cluster(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.isend(1, 100, {"a": 7}, tag=5)
+                return None
+            value = yield comm.recv(0, tag=5)
+            return value
+
+        results = run_spmd(cluster, main)
+        assert results[1] == {"a": 7}
+
+    def test_messages_matched_in_order(self):
+        cluster = make_cluster(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                for k in range(5):
+                    comm.isend(1, 10, k, tag=1)
+                return None
+            out = []
+            for _ in range(5):
+                out.append((yield comm.recv(0, tag=1)))
+            return out
+
+        results = run_spmd(cluster, main)
+        assert results[1] == [0, 1, 2, 3, 4]
+
+    def test_recv_before_send(self):
+        cluster = make_cluster(2)
+
+        def main(comm):
+            if comm.rank == 1:
+                value = yield comm.recv(0, tag=9)
+                return value
+            yield comm.compute_seconds(0.001)  # recv posted first
+            comm.isend(1, 10, "late", tag=9)
+
+        assert run_spmd(cluster, main)[1] == "late"
+
+    def test_tags_do_not_cross_match(self):
+        cluster = make_cluster(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.isend(1, 10, "tagA", tag=1)
+                comm.isend(1, 10, "tagB", tag=2)
+                return None
+            b = yield comm.recv(0, tag=2)
+            a = yield comm.recv(0, tag=1)
+            return (a, b)
+
+        assert run_spmd(cluster, main)[1] == ("tagA", "tagB")
+
+    def test_sendrecv(self):
+        cluster = make_cluster(2)
+
+        def main(comm):
+            peer = 1 - comm.rank
+            got = yield from comm.sendrecv(peer, 10, f"from{comm.rank}", tag=3)
+            return got
+
+        results = run_spmd(cluster, main)
+        assert results == ["from1", "from0"]
+
+    def test_deadlock_detection(self):
+        cluster = make_cluster(2)
+
+        def main(comm):
+            yield comm.recv(1 - comm.rank, tag=0)  # nobody sends
+
+        with pytest.raises(RuntimeError, match="stuck ranks"):
+            run_spmd(cluster, main)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("nodes", [1, 2, 3, 4, 7, 8, 16])
+    def test_allreduce(self, nodes):
+        cluster = make_cluster(nodes)
+
+        def main(comm):
+            total = yield from comm.allreduce(comm.rank + 1, 8)
+            return total
+
+        expected = sum(range(1, nodes + 1))
+        assert run_spmd(cluster, main) == [expected] * nodes
+
+    @pytest.mark.parametrize("nodes", [1, 2, 5, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_bcast(self, nodes, root):
+        if root >= nodes:
+            pytest.skip("root outside communicator")
+        cluster = make_cluster(nodes)
+
+        def main(comm):
+            value = "payload" if comm.rank == root else None
+            value = yield from comm.bcast(value, 64, root=root)
+            return value
+
+        assert run_spmd(cluster, main) == ["payload"] * nodes
+
+    @pytest.mark.parametrize("nodes", [2, 3, 6])
+    def test_alltoall(self, nodes):
+        cluster = make_cluster(nodes)
+
+        def main(comm):
+            payloads = [(8, (comm.rank, dst)) for dst in range(nodes)]
+            received = yield from comm.alltoall(payloads)
+            return received
+
+        results = run_spmd(cluster, main)
+        for rank, received in enumerate(results):
+            assert received == [(src, rank) for src in range(nodes)]
+
+    def test_barrier_synchronizes(self):
+        cluster = make_cluster(4)
+        after = {}
+
+        def main(comm):
+            # rank 0 is slow before the barrier
+            if comm.rank == 0:
+                yield comm.compute_seconds(0.01)
+            yield from comm.barrier()
+            after[comm.rank] = comm.engine.now
+
+        run_spmd(cluster, main)
+        assert all(t >= 0.01 for t in after.values())
+
+    def test_allreduce_custom_op(self):
+        cluster = make_cluster(4)
+
+        def main(comm):
+            result = yield from comm.allreduce(
+                comm.rank, 8, op=max
+            )
+            return result
+
+        assert run_spmd(cluster, main) == [3, 3, 3, 3]
+
+
+class TestHaloExchange:
+    def test_plan_matches_expanded_overlaps(self):
+        blocks = grid_block_decomposition((8, 8), 4)
+        plan = plan_halo_exchange(blocks, 1, 8)
+        for t in plan.transfers:
+            grown = Box(
+                tuple(l - 1 for l in blocks[t.dst].lo),
+                tuple(h + 1 for h in blocks[t.dst].hi),
+            )
+            assert grown.intersect(blocks[t.src]) == t.box
+            assert t.nbytes == t.box.size() * 8
+        # strip decomposition of a square: 4 quadrants → edge + corner pairs
+        assert plan.neighbors_of(0)
+
+    def test_zero_radius_empty_plan(self):
+        blocks = grid_block_decomposition((8, 8), 4)
+        assert plan_halo_exchange(blocks, 0, 8).transfers == []
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            plan_halo_exchange([Box.of((0, 0), (2, 2))], -1, 8)
+
+    def test_exchange_step_runs(self):
+        blocks = grid_block_decomposition((16, 16), 4)
+        plan = plan_halo_exchange(blocks, 1, 8)
+        cluster = make_cluster(4)
+
+        def main(comm):
+            for step in range(3):
+                yield from exchange_step(comm, plan, tag=100 + step)
+            return comm.engine.now
+
+        times = run_spmd(cluster, main)
+        assert all(t > 0 for t in times)
+
+    def test_single_rank_no_neighbors(self):
+        blocks = grid_block_decomposition((8, 8), 1)
+        plan = plan_halo_exchange(blocks, 1, 8)
+        assert plan.transfers == []
+        assert plan.total_bytes() == 0

@@ -1,0 +1,113 @@
+"""Unit tests for blocked tree regions (Fig. 4c)."""
+
+import pytest
+
+from repro.regions.base import RegionMismatchError
+from repro.regions.blocked_tree import BlockedTreeGeometry, BlockedTreeRegion
+from repro.regions.tree import TreeGeometry
+
+
+class TestBlockedTreeGeometry:
+    def test_mask_length_formula(self):
+        # "a simple bit-mask of length 2^h + 1"
+        g = BlockedTreeGeometry(depth=6, root_height=3)
+        assert g.num_blocks == 8
+        assert g.mask_length == 9
+
+    def test_sizes(self):
+        g = BlockedTreeGeometry(depth=6, root_height=3)
+        assert g.root_tree_size == 7
+        assert g.block_size == 7
+        assert g.root_tree_size + g.num_blocks * g.block_size == (1 << 6) - 1
+
+    def test_block_roots(self):
+        g = BlockedTreeGeometry(depth=4, root_height=2)
+        assert [g.block_root(b) for b in (1, 2, 3, 4)] == [4, 5, 6, 7]
+        with pytest.raises(ValueError):
+            g.block_root(5)
+
+    def test_block_of(self):
+        g = BlockedTreeGeometry(depth=4, root_height=2)
+        assert g.block_of(1) is None
+        assert g.block_of(3) is None
+        assert g.block_of(4) == 1
+        assert g.block_of(9) == 1  # child of 4
+        assert g.block_of(15) == 4
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            BlockedTreeGeometry(depth=3, root_height=3)
+        with pytest.raises(ValueError):
+            BlockedTreeGeometry(depth=3, root_height=0)
+
+
+class TestBlockedTreeRegion:
+    def setup_method(self):
+        self.g = BlockedTreeGeometry(depth=5, root_height=2)
+
+    def test_empty_full(self):
+        assert BlockedTreeRegion.empty(self.g).is_empty()
+        full = BlockedTreeRegion.full(self.g)
+        assert full.size() == (1 << 5) - 1
+
+    def test_root_tree_only(self):
+        region = BlockedTreeRegion.root_tree(self.g)
+        assert set(region.elements()) == {1, 2, 3}
+
+    def test_of_blocks(self):
+        region = BlockedTreeRegion.of_blocks(self.g, [2, 4])
+        tree = TreeGeometry(5)
+        expected = set(tree.subtree_nodes(5)) | set(tree.subtree_nodes(7))
+        assert set(region.elements()) == expected
+        assert list(region.blocks()) == [2, 4]
+        assert not region.has_root_tree()
+
+    def test_bitwise_algebra(self):
+        a = BlockedTreeRegion.of_blocks(self.g, [1, 2], include_root_tree=True)
+        b = BlockedTreeRegion.of_blocks(self.g, [2, 3])
+        assert list((a | b).blocks()) == [1, 2, 3]
+        assert list((a & b).blocks()) == [2]
+        assert list((a - b).blocks()) == [1]
+        assert (a - b).has_root_tree()
+
+    def test_contains(self):
+        region = BlockedTreeRegion.of_blocks(self.g, [1])
+        assert region.contains(4)
+        assert region.contains(16)  # descendant of 4
+        assert not region.contains(1)
+        assert not region.contains(99)
+
+    def test_conversion_to_flexible(self):
+        region = BlockedTreeRegion.of_blocks(
+            self.g, [1, 3], include_root_tree=True
+        )
+        flexible = region.to_tree_region()
+        assert set(flexible.elements()) == set(region.elements())
+
+    def test_conversion_full(self):
+        full = BlockedTreeRegion.full(self.g)
+        assert full.to_tree_region().size() == full.size()
+
+    def test_representation_is_constant_size(self):
+        # the blocked scheme's selling point: O(2^h) bits regardless of
+        # which blocks are selected
+        small = BlockedTreeRegion.of_blocks(self.g, [1])
+        large = BlockedTreeRegion.full(self.g)
+        assert small.representation_size() == large.representation_size()
+
+    def test_mask_bounds_checked(self):
+        with pytest.raises(ValueError):
+            BlockedTreeRegion(self.g, 1 << self.g.mask_length)
+        with pytest.raises(ValueError):
+            BlockedTreeRegion(self.g, -1)
+
+    def test_geometry_mismatch(self):
+        other = BlockedTreeRegion.full(BlockedTreeGeometry(depth=6, root_height=2))
+        with pytest.raises(RegionMismatchError):
+            BlockedTreeRegion.full(self.g).union(other)
+
+    def test_equality_and_hash(self):
+        a = BlockedTreeRegion.of_blocks(self.g, [1, 2])
+        b = BlockedTreeRegion.of_blocks(self.g, [2, 1])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,167 @@
+"""Unit tests for boxes and box-set regions (Fig. 4a)."""
+
+import pytest
+
+from repro.regions.box import (
+    Box,
+    BoxSetRegion,
+    grid_block_decomposition,
+)
+from repro.regions.base import RegionMismatchError
+
+
+class TestBox:
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1,))
+
+    def test_emptiness_and_size(self):
+        assert Box.of((0, 0), (0, 5)).is_empty()
+        assert Box.of((0, 0), (2, 3)).size() == 6
+        assert Box.of((2, 2), (1, 5)).size() == 0
+
+    def test_contains(self):
+        box = Box.of((1, 1), (4, 4))
+        assert box.contains((1, 1))
+        assert box.contains((3, 3))
+        assert not box.contains((4, 3))
+        assert not box.contains((0, 2))
+        assert not box.contains((1,))
+
+    def test_intersect_and_overlaps(self):
+        a = Box.of((0, 0), (4, 4))
+        b = Box.of((2, 2), (6, 6))
+        assert a.intersect(b) == Box.of((2, 2), (4, 4))
+        assert a.overlaps(b)
+        assert not a.overlaps(Box.of((4, 0), (6, 4)))
+        assert not a.overlaps(Box.of((2, 2), (2, 6)))  # empty operand
+
+    def test_encloses(self):
+        outer = Box.of((0, 0), (10, 10))
+        assert outer.encloses(Box.of((2, 3), (4, 5)))
+        assert outer.encloses(outer)
+        assert not Box.of((2, 3), (4, 5)).encloses(outer)
+
+    def test_subtract_disjoint_returns_self(self):
+        a = Box.of((0, 0), (2, 2))
+        assert a.subtract(Box.of((5, 5), (6, 6))) == [a]
+
+    def test_subtract_full_returns_empty(self):
+        a = Box.of((1, 1), (3, 3))
+        assert a.subtract(Box.of((0, 0), (5, 5))) == []
+
+    def test_subtract_partial_is_partition(self):
+        a = Box.of((0, 0), (4, 4))
+        b = Box.of((1, 1), (3, 3))
+        pieces = a.subtract(b)
+        covered = set()
+        for piece in pieces:
+            pts = set(piece.points())
+            assert not covered & pts, "pieces overlap"
+            covered |= pts
+        assert covered == set(a.points()) - set(b.points())
+
+    def test_split(self):
+        left, right = Box.of((0, 0), (4, 6)).split(1, 2)
+        assert left == Box.of((0, 0), (4, 2))
+        assert right == Box.of((0, 2), (4, 6))
+
+    def test_surface(self):
+        assert Box.of((0, 0), (4, 4)).surface() == 12
+        assert Box.of((0, 0), (1, 5)).surface() == 5
+
+    def test_value_semantics(self):
+        assert Box.of((0, 0), (1, 1)) == Box.of((0, 0), (1, 1))
+        assert hash(Box.of((0, 0), (1, 1))) == hash(Box.of((0, 0), (1, 1)))
+
+
+class TestBoxSetRegion:
+    def test_disjointification(self):
+        region = BoxSetRegion(
+            [Box.of((0, 0), (4, 4)), Box.of((2, 2), (6, 6))]
+        )
+        assert region.size() == 16 + 16 - 4
+
+    def test_coalescing_of_abutting_boxes(self):
+        region = BoxSetRegion(
+            [Box.of((0, 0), (2, 4)), Box.of((2, 0), (4, 4))]
+        )
+        assert region.boxes == (Box.of((0, 0), (4, 4)),)
+
+    def test_rank_mixing_rejected(self):
+        with pytest.raises(RegionMismatchError):
+            BoxSetRegion([Box.of((0,), (2,)), Box.of((0, 0), (2, 2))])
+
+    def test_union_intersect_difference(self):
+        a = BoxSetRegion.single((0, 0), (4, 4))
+        b = BoxSetRegion.single((2, 2), (6, 6))
+        assert (a | b).size() == 28
+        assert (a & b).size() == 4
+        assert (a - b).size() == 12
+        assert (b - a).size() == 12
+
+    def test_difference_fast_path_disjoint(self):
+        a = BoxSetRegion.single((0, 0), (2, 2))
+        b = BoxSetRegion.single((10, 10), (12, 12))
+        assert (a - b) is a
+
+    def test_covers_fast_and_slow_path(self):
+        big = BoxSetRegion.single((0, 0), (10, 10))
+        assert big.covers(BoxSetRegion.single((2, 2), (5, 5)))
+        # spanning two stored boxes (slow path)
+        two = BoxSetRegion(
+            [Box.of((0, 0), (5, 10)), Box.of((5, 0), (10, 10))]
+        )
+        assert two.covers(BoxSetRegion.single((3, 3), (7, 7)))
+        assert not BoxSetRegion.single((0, 0), (4, 4)).covers(big)
+
+    def test_semantic_equality(self):
+        a = BoxSetRegion([Box.of((0, 0), (2, 4))])
+        b = BoxSetRegion(
+            [Box.of((0, 0), (2, 2)), Box.of((0, 2), (2, 4))]
+        )
+        assert a == b
+
+    def test_contains(self):
+        region = BoxSetRegion.single((0, 0), (3, 3))
+        assert region.contains((2, 2))
+        assert not region.contains((3, 3))
+        assert not region.contains("nope")
+
+    def test_bounding_box(self):
+        region = BoxSetRegion(
+            [Box.of((0, 0), (1, 1)), Box.of((5, 7), (6, 9))]
+        )
+        assert region.bounding_box() == Box.of((0, 0), (6, 9))
+        assert BoxSetRegion.empty(2).bounding_box() is None
+
+    def test_full_grid(self):
+        region = BoxSetRegion.full_grid((3, 4, 5))
+        assert region.size() == 60
+
+    def test_surface(self):
+        region = BoxSetRegion.single((0, 0), (4, 4))
+        assert region.surface() == 12
+
+
+class TestGridBlockDecomposition:
+    @pytest.mark.parametrize("parts", [1, 2, 3, 4, 7, 8, 16])
+    def test_partition_is_complete_and_disjoint(self, parts):
+        boxes = grid_block_decomposition((20, 30), parts)
+        assert len(boxes) == parts
+        assert sum(b.size() for b in boxes) == 600
+        region = BoxSetRegion(boxes)
+        assert region.size() == 600  # disjointness: no double counting
+
+    def test_near_equal_sizes(self):
+        boxes = grid_block_decomposition((100, 100), 8)
+        sizes = [b.size() for b in boxes]
+        assert max(sizes) - min(sizes) <= 100  # within one row/col strip
+
+    def test_splits_widest_axis_first(self):
+        boxes = grid_block_decomposition((100, 10), 2)
+        assert {b.widths() for b in boxes} == {(50, 10)}
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            grid_block_decomposition((4, 4), 0)

@@ -1,0 +1,127 @@
+"""Unit tests for 1-D interval regions."""
+
+import pytest
+
+from repro.regions.interval import (
+    Interval,
+    IntervalRegion,
+    split_interval_region,
+)
+
+
+class TestInterval:
+    def test_empty_when_degenerate(self):
+        assert Interval(3, 3).is_empty()
+        assert Interval(5, 2).is_empty()
+        assert not Interval(0, 1).is_empty()
+
+    def test_size(self):
+        assert Interval(2, 7).size() == 5
+        assert Interval(7, 2).size() == 0
+
+    def test_contains_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2)
+        assert iv.contains(4)
+        assert not iv.contains(5)
+        assert not iv.contains(1)
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+        assert not Interval(0, 5).overlaps(Interval(5, 9))
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+
+class TestIntervalRegion:
+    def test_normalization_merges_adjacent(self):
+        region = IntervalRegion([(0, 3), (3, 6)])
+        assert region.intervals == (Interval(0, 6),)
+
+    def test_normalization_merges_overlapping_unordered(self):
+        region = IntervalRegion([(4, 9), (0, 5)])
+        assert region.intervals == (Interval(0, 9),)
+
+    def test_empty_inputs_dropped(self):
+        assert IntervalRegion([(5, 5), (7, 3)]).is_empty()
+
+    def test_span_and_of_points(self):
+        assert IntervalRegion.span(2, 5).size() == 3
+        pts = IntervalRegion.of_points([1, 2, 3, 7])
+        assert pts.intervals == (Interval(1, 4), Interval(7, 8))
+
+    def test_union(self):
+        a = IntervalRegion([(0, 3), (10, 12)])
+        b = IntervalRegion([(2, 5)])
+        assert set((a | b).elements()) == {0, 1, 2, 3, 4, 10, 11}
+
+    def test_intersect(self):
+        a = IntervalRegion([(0, 5), (8, 12)])
+        b = IntervalRegion([(3, 10)])
+        assert set((a & b).elements()) == {3, 4, 8, 9}
+
+    def test_difference(self):
+        a = IntervalRegion([(0, 10)])
+        b = IntervalRegion([(3, 5), (7, 8)])
+        assert set((a - b).elements()) == {0, 1, 2, 5, 6, 8, 9}
+
+    def test_difference_is_self_when_disjoint(self):
+        a = IntervalRegion([(0, 3)])
+        b = IntervalRegion([(5, 8)])
+        assert (a - b) == a
+
+    def test_canonical_equality_and_hash(self):
+        a = IntervalRegion([(0, 2), (2, 4)])
+        b = IntervalRegion([(0, 4)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_contains_binary_search(self):
+        region = IntervalRegion([(0, 2), (5, 7), (100, 200)])
+        for p in (0, 1, 5, 6, 100, 199):
+            assert region.contains(p)
+        for p in (-1, 2, 4, 7, 99, 200, "x"):
+            assert not region.contains(p)
+
+    def test_bounds(self):
+        assert IntervalRegion([(3, 5), (9, 11)]).bounds() == Interval(3, 11)
+        assert IntervalRegion.empty().bounds() is None
+
+    def test_covers_and_same_elements(self):
+        a = IntervalRegion([(0, 10)])
+        b = IntervalRegion([(2, 4)])
+        assert a.covers(b)
+        assert not b.covers(a)
+        assert a.same_elements(IntervalRegion([(0, 5), (5, 10)]))
+
+    def test_operator_sugar(self):
+        a = IntervalRegion.span(0, 4)
+        assert len(a) == 4
+        assert bool(a)
+        assert 3 in a
+        assert sorted(a) == [0, 1, 2, 3]
+
+
+class TestSplitIntervalRegion:
+    def test_even_split(self):
+        chunks = split_interval_region(IntervalRegion.span(0, 100), 4)
+        assert [c.size() for c in chunks] == [25, 25, 25, 25]
+
+    def test_uneven_split_covers_everything(self):
+        region = IntervalRegion([(0, 7), (20, 23)])
+        chunks = split_interval_region(region, 3)
+        assert sum(c.size() for c in chunks) == region.size()
+        merged = chunks[0]
+        for c in chunks[1:]:
+            merged = merged | c
+        assert merged == region
+
+    def test_more_parts_than_elements(self):
+        chunks = split_interval_region(IntervalRegion.span(0, 2), 5)
+        assert len(chunks) == 5
+        assert sum(c.size() for c in chunks) == 2
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_interval_region(IntervalRegion.span(0, 5), 0)

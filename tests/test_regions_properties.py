@@ -1,0 +1,95 @@
+"""Property-based tests: every region type is a faithful set algebra.
+
+Section 3.1 requires region types to be closed under union, intersection
+and set-difference.  Each strategy draws arbitrary regions of a type and
+checks the three operations element-for-element against the explicit-set
+reference, plus the algebraic laws the runtime relies on.
+"""
+
+from hypothesis import given, settings
+
+from tests.conftest import (
+    as_explicit,
+    blocked_tree_regions,
+    box_set_regions,
+    interval_regions,
+    tree_regions,
+)
+
+
+def _check_closure(a, b):
+    ea, eb = set(a.elements()), set(b.elements())
+    assert set(a.union(b).elements()) == ea | eb
+    assert set(a.intersect(b).elements()) == ea & eb
+    assert set(a.difference(b).elements()) == ea - eb
+
+
+def _check_laws(a, b):
+    # cardinality consistency
+    assert a.size() == len(set(a.elements()))
+    # inclusion/exclusion
+    assert a.union(b).size() == a.size() + b.size() - a.intersect(b).size()
+    # commutativity (semantic)
+    assert a.union(b).same_elements(b.union(a))
+    assert a.intersect(b).same_elements(b.intersect(a))
+    # difference/intersection complementarity: (a−b) ∪ (a∩b) = a
+    assert a.difference(b).union(a.intersect(b)).same_elements(a)
+    # covers/overlaps consistency
+    assert a.covers(a.intersect(b))
+    assert a.overlaps(b) == (not a.intersect(b).is_empty())
+
+
+@given(interval_regions(), interval_regions())
+@settings(max_examples=120)
+def test_interval_regions_closure(a, b):
+    _check_closure(a, b)
+    _check_laws(a, b)
+
+
+@given(box_set_regions(), box_set_regions())
+@settings(max_examples=120, deadline=None)
+def test_box_set_regions_closure(a, b):
+    _check_closure(a, b)
+    _check_laws(a, b)
+
+
+@given(tree_regions(), tree_regions())
+@settings(max_examples=120, deadline=None)
+def test_tree_regions_closure(a, b):
+    _check_closure(a, b)
+    _check_laws(a, b)
+    # canonical representation: semantic equality == structural equality
+    assert (a == b) == a.same_elements(b)
+
+
+@given(blocked_tree_regions(), blocked_tree_regions())
+@settings(max_examples=120)
+def test_blocked_tree_regions_closure(a, b):
+    _check_closure(a, b)
+    _check_laws(a, b)
+    assert (a == b) == a.same_elements(b)
+
+
+@given(blocked_tree_regions())
+@settings(max_examples=60)
+def test_blocked_to_flexible_conversion_is_lossless(a):
+    assert set(a.to_tree_region().elements()) == set(a.elements())
+
+
+@given(tree_regions(), tree_regions(), tree_regions())
+@settings(max_examples=60, deadline=None)
+def test_tree_region_associativity(a, b, c):
+    assert a.union(b).union(c) == a.union(b.union(c))
+    assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
+    # a − (b ∪ c) = (a − b) − c
+    assert a.difference(b.union(c)) == a.difference(b).difference(c)
+
+
+@given(box_set_regions(), box_set_regions())
+@settings(max_examples=80, deadline=None)
+def test_box_region_membership_agrees_with_reference(a, b):
+    union = a.union(b)
+    reference = as_explicit(union)
+    for x in range(0, 10):
+        for y in range(0, 10):
+            assert union.contains((x, y)) == reference.contains((x, y))

@@ -1,0 +1,127 @@
+"""Unit tests for flexible tree regions (Fig. 4b) and their geometry."""
+
+import pytest
+
+from repro.regions.base import RegionMismatchError
+from repro.regions.tree import TreeGeometry, TreeRegion
+
+
+class TestTreeGeometry:
+    def test_node_count(self):
+        assert TreeGeometry(1).num_nodes == 1
+        assert TreeGeometry(4).num_nodes == 15
+
+    def test_levels(self):
+        g = TreeGeometry(4)
+        assert g.level_of(1) == 1
+        assert g.level_of(2) == 2
+        assert g.level_of(15) == 4
+
+    def test_parent_children(self):
+        g = TreeGeometry(4)
+        assert g.parent(1) is None
+        assert g.parent(7) == 3
+        assert g.children(3) == (6, 7)
+        assert g.children(8) == ()  # leaf
+
+    def test_subtree_size(self):
+        g = TreeGeometry(4)
+        assert g.subtree_size(1) == 15
+        assert g.subtree_size(2) == 7
+        assert g.subtree_size(8) == 1
+
+    def test_subtree_nodes(self):
+        g = TreeGeometry(3)
+        assert set(g.subtree_nodes(2)) == {2, 4, 5}
+
+    def test_leaves(self):
+        g = TreeGeometry(3)
+        assert list(g.leaves()) == [4, 5, 6, 7]
+
+    def test_bounds_checked(self):
+        g = TreeGeometry(3)
+        with pytest.raises(ValueError):
+            g.check_node(0)
+        with pytest.raises(ValueError):
+            g.check_node(8)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TreeGeometry(0)
+
+
+class TestTreeRegion:
+    def setup_method(self):
+        self.g = TreeGeometry(4)
+
+    def test_empty_and_full(self):
+        assert TreeRegion.empty(self.g).is_empty()
+        full = TreeRegion.full(self.g)
+        assert full.size() == 15
+        assert set(full.elements()) == set(range(1, 16))
+
+    def test_example_2_1_tree(self):
+        # the paper's balanced binary tree of height 4 with 15 nodes
+        assert TreeRegion.full(TreeGeometry(4)).size() == 15
+
+    def test_of_subtrees_include_exclude(self):
+        # Fig. 4b style: include subtree of 2, carve out subtree of 4
+        region = TreeRegion.of_subtrees(self.g, includes=[2], excludes=[4])
+        expected = set(self.g.subtree_nodes(2)) - set(self.g.subtree_nodes(4))
+        assert set(region.elements()) == expected
+
+    def test_exclude_wins_on_same_node(self):
+        region = TreeRegion.of_subtrees(self.g, includes=[2], excludes=[2])
+        assert region.is_empty()
+
+    def test_of_nodes_single(self):
+        region = TreeRegion.of_nodes(self.g, [1])
+        assert set(region.elements()) == {1}
+
+    def test_of_nodes_arbitrary(self):
+        nodes = {1, 5, 9, 14}
+        region = TreeRegion.of_nodes(self.g, nodes)
+        assert set(region.elements()) == nodes
+
+    def test_canonical_equality(self):
+        # whole subtree of 2 expressed two ways
+        a = TreeRegion.of_subtrees(self.g, [2])
+        b = TreeRegion.of_nodes(self.g, self.g.subtree_nodes(2))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_include_exclude_views(self):
+        region = TreeRegion.of_subtrees(self.g, includes=[2], excludes=[5])
+        assert region.include_roots() == {2}
+        assert region.exclude_roots() == {5}
+
+    def test_representation_size_is_small(self):
+        # "at most three nodes to characterize the regions" (Fig. 4b text)
+        region = TreeRegion.of_subtrees(self.g, includes=[1], excludes=[5])
+        assert region.representation_size() <= 3
+
+    def test_algebra(self):
+        a = TreeRegion.of_subtrees(self.g, [2])
+        b = TreeRegion.of_subtrees(self.g, [5])
+        assert set((a - b).elements()) == set(self.g.subtree_nodes(2)) - set(
+            self.g.subtree_nodes(5)
+        )
+        assert (a & b) == b  # 5 is inside subtree of 2
+        assert (a | b) == a
+
+    def test_contains(self):
+        region = TreeRegion.of_subtrees(self.g, [3])
+        assert region.contains(6)
+        assert region.contains(13)
+        assert not region.contains(2)
+        assert not region.contains(99)
+        assert not region.contains("x")
+
+    def test_geometry_mismatch_rejected(self):
+        other = TreeRegion.full(TreeGeometry(3))
+        with pytest.raises(RegionMismatchError):
+            TreeRegion.full(self.g).union(other)
+
+    def test_size_matches_enumeration(self):
+        region = TreeRegion.of_subtrees(self.g, includes=[1], excludes=[4, 6])
+        assert region.size() == len(set(region.elements()))

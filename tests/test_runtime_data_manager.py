@@ -1,0 +1,207 @@
+"""Integration tests for the data item manager and the runtime façade."""
+
+import numpy as np
+import pytest
+
+from repro.items.grid import Grid
+from repro.regions.box import Box
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+def make_runtime(nodes=4, cores=2, functional=True):
+    cluster = Cluster(
+        ClusterSpec(num_nodes=nodes, cores_per_node=cores, flops_per_core=1e9)
+    )
+    return AllScaleRuntime(cluster, RuntimeConfig(functional=functional))
+
+
+class TestAllocation:
+    def test_first_touch_allocates_and_indexes(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid)
+        manager = runtime.process(1).data_manager
+        region = grid.box((0, 0), (4, 8))
+        manager.allocate(grid, region)
+        assert manager.owned_region(grid).same_elements(region)
+        assert runtime.index.owned_region(grid, 1).same_elements(region)
+        assert runtime.process(1).node.memory_used == region.size() * 8
+        runtime.check_ownership_invariants()
+
+    def test_registration_with_placement(self):
+        runtime = make_runtime(nodes=4)
+        grid = Grid((16, 16), name="g")
+        placement = grid.decompose(4)
+        runtime.register_item(grid, placement=placement)
+        runtime.check_ownership_invariants()
+        for pid in range(4):
+            owned = runtime.process(pid).data_manager.owned_region(grid)
+            assert owned.same_elements(placement[pid])
+
+    def test_double_registration_rejected(self):
+        runtime = make_runtime()
+        grid = Grid((4, 4))
+        runtime.register_item(grid)
+        with pytest.raises(ValueError):
+            runtime.register_item(grid)
+
+    def test_bad_placement_length(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((4, 4))
+        with pytest.raises(ValueError):
+            runtime.register_item(grid, placement=[grid.full_region])
+
+
+class TestMigrationAndReplication:
+    def run_task(self, runtime, task):
+        return runtime.wait(runtime.submit(task))
+
+    def test_write_migrates_ownership(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+
+        def body(ctx):
+            ctx.fragment(grid).scatter(
+                Box.of((0, 0), (8, 8)), np.ones((8, 8))
+            )
+
+        # whole-grid write must consolidate ownership at one process
+        task = TaskSpec(
+            name="w", writes={grid: grid.full_region}, body=body, size_hint=64
+        )
+        self.run_task(runtime, task)
+        runtime.check_ownership_invariants()
+        owners = [
+            pid
+            for pid in range(2)
+            if not runtime.process(pid).data_manager.owned_region(grid).is_empty()
+        ]
+        assert len(owners) == 1
+        assert runtime.metrics.counter("dm.migrations") >= 1
+
+    def test_read_replicates_without_ownership_change(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        owned_before = [
+            runtime.process(pid).data_manager.owned_region(grid) for pid in range(2)
+        ]
+
+        def body(ctx):
+            return float(
+                ctx.fragment(grid).gather(Box.of((0, 0), (8, 8))).sum()
+            )
+
+        task = TaskSpec(
+            name="r", reads={grid: grid.full_region}, body=body, size_hint=64
+        )
+        value = self.run_task(runtime, task)
+        assert value == 0.0  # freshly allocated zeros
+        runtime.check_ownership_invariants()
+        for pid in range(2):
+            assert runtime.process(pid).data_manager.owned_region(grid).same_elements(
+                owned_before[pid]
+            )
+        assert runtime.metrics.counter("dm.replicas_fetched") >= 1
+        assert runtime.replica_holders(grid)
+
+    def test_write_invalidates_replicas(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        placement = grid.decompose(2)
+        runtime.register_item(grid, placement=placement)
+        # process 1 fetches a read replica of process 0's half
+        manager = runtime.process(1).data_manager
+        runtime.engine.spawn(manager._fetch_replicas(grid, placement[0]))
+        runtime.run()
+        assert 1 in runtime.replica_holders(grid)
+        # a write on that region (running at its owner, process 0) must
+        # invalidate the remote replica first — exclusive writes
+        write = TaskSpec(
+            name="w",
+            writes={grid: placement[0]},
+            body=lambda ctx: None,
+            size_hint=32,
+        )
+        self.run_task(runtime, write)
+        assert not runtime.replica_holders(grid)
+        assert runtime.metrics.counter("dm.invalidations") >= 1
+        # process 1's fragment dropped the replica but kept its own data
+        assert manager.present_region(grid).same_elements(placement[1])
+        runtime.check_ownership_invariants()
+
+    def test_replica_holder_becoming_owner_is_unregistered(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        read = TaskSpec(
+            name="r",
+            reads={grid: grid.full_region},
+            body=lambda ctx: None,
+            size_hint=64,
+        )
+        self.run_task(runtime, read)
+        assert runtime.replica_holders(grid)
+        write = TaskSpec(
+            name="w",
+            writes={grid: grid.full_region},
+            body=lambda ctx: None,
+            size_hint=64,
+        )
+        self.run_task(runtime, write)
+        # the reader migrated the rest in and became sole owner; its stale
+        # replica registration must be cleaned up without invalidations
+        assert not runtime.replica_holders(grid)
+        runtime.check_ownership_invariants()
+
+    def test_functional_values_survive_migration(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((4, 4), name="g")
+        runtime.register_item(grid)
+        left = grid.box((0, 0), (2, 4))
+
+        def write_left(ctx):
+            ctx.fragment(grid).scatter(Box.of((0, 0), (2, 4)), np.full((2, 4), 5.0))
+
+        self.run_task(
+            runtime,
+            TaskSpec(name="w1", writes={grid: left}, body=write_left, size_hint=8),
+        )
+
+        def read_all(ctx):
+            return ctx.fragment(grid).gather(Box.of((0, 0), (4, 4))).sum()
+
+        total = self.run_task(
+            runtime,
+            TaskSpec(
+                name="r", reads={grid: grid.full_region}, body=read_all,
+                size_hint=16,
+            ),
+        )
+        assert total == 5.0 * 8
+
+    def test_virtual_mode_moves_bytes_not_values(self):
+        runtime = make_runtime(nodes=2, functional=False)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        task = TaskSpec(
+            name="r", reads={grid: grid.full_region}, flops=1e3, size_hint=64
+        )
+        runtime.wait(runtime.submit(task))
+        assert runtime.metrics.counter("dm.replicated_bytes") > 0
+
+
+class TestDestroy:
+    def test_destroy_clears_everything(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        runtime.destroy_item(grid)
+        assert grid not in runtime.items
+        for pid in range(2):
+            assert runtime.process(pid).node.memory_used == 0
+            assert runtime.index.owned_region(grid, pid).is_empty()

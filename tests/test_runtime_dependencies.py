@@ -1,0 +1,110 @@
+"""Tests for barrier-free task dependency chaining (``submit(after=...)``)."""
+
+import pytest
+
+from repro.items.grid import Grid
+from repro.regions.box import Box
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
+from repro.sim.cluster import Cluster, ClusterSpec
+
+import numpy as np
+
+
+def make_runtime(nodes=2):
+    cluster = Cluster(
+        ClusterSpec(num_nodes=nodes, cores_per_node=2, flops_per_core=1e9)
+    )
+    return AllScaleRuntime(cluster, RuntimeConfig(functional=True))
+
+
+class TestDependencies:
+    def test_chain_orders_execution(self):
+        runtime = make_runtime()
+        order = []
+
+        def body(tag):
+            def run(ctx):
+                order.append(tag)
+
+            return run
+
+        first = runtime.submit(
+            TaskSpec(name="a", flops=1e6, body=body("a"), size_hint=1)
+        )
+        second = runtime.submit(
+            TaskSpec(name="b", flops=1e3, body=body("b"), size_hint=1),
+            after=[first],
+        )
+        third = runtime.submit(
+            TaskSpec(name="c", flops=1e3, body=body("c"), size_hint=1),
+            after=[second],
+        )
+        runtime.wait(third)
+        assert order == ["a", "b", "c"]
+
+    def test_fan_in_dependency(self):
+        runtime = make_runtime()
+        producers = [
+            runtime.submit(
+                TaskSpec(name=f"p{k}", flops=(k + 1) * 1e5, size_hint=1,
+                         body=lambda ctx, k=k: k),
+                origin=k % 2,
+            )
+            for k in range(4)
+        ]
+
+        def consume(ctx):
+            return sum(t.value for t in producers)
+
+        consumer = runtime.submit(
+            TaskSpec(name="consumer", body=consume, size_hint=1),
+            after=producers,
+        )
+        assert runtime.wait(consumer) == 0 + 1 + 2 + 3
+
+    def test_dependent_write_sees_producer_data(self):
+        """Write-after-write ordering without an explicit driver barrier."""
+        runtime = make_runtime()
+        grid = Grid((4, 4), name="g")
+        runtime.register_item(grid, placement=[grid.full_region] + [
+            grid.empty_region()
+        ])
+
+        def fill(value):
+            def body(ctx):
+                ctx.fragment(grid).scatter(
+                    Box.of((0, 0), (4, 4)), np.full((4, 4), value)
+                )
+
+            return body
+
+        first = runtime.submit(
+            TaskSpec(name="w1", writes={grid: grid.full_region},
+                     body=fill(1.0), size_hint=16)
+        )
+        second = runtime.submit(
+            TaskSpec(name="w2", writes={grid: grid.full_region},
+                     body=fill(2.0), size_hint=16),
+            after=[first],
+        )
+
+        def read(ctx):
+            return float(ctx.fragment(grid).gather(Box.of((0, 0), (4, 4))).sum())
+
+        total = runtime.wait(
+            runtime.submit(
+                TaskSpec(name="r", reads={grid: grid.full_region},
+                         body=read, size_hint=16),
+                after=[second],
+            )
+        )
+        assert total == 32.0
+
+    def test_empty_after_runs_immediately(self):
+        runtime = make_runtime()
+        treeture = runtime.submit(
+            TaskSpec(name="t", body=lambda ctx: 42, size_hint=1), after=[]
+        )
+        assert runtime.wait(treeture) == 42

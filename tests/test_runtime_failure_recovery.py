@@ -1,0 +1,181 @@
+"""Node failure and checkpoint-based recovery (paper §2.4/§6 outlook).
+
+The model's data preservation property makes partial restart safe at task
+barriers: a checkpoint captures every item's contents and distribution;
+after a node crash, only the lost regions roll back to checkpoint state
+while survivors keep theirs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.items.grid import Grid
+from repro.regions.box import Box
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.resilience import ResilienceManager
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+def make_runtime(nodes=4):
+    cluster = Cluster(
+        ClusterSpec(num_nodes=nodes, cores_per_node=2, flops_per_core=1e9)
+    )
+    return AllScaleRuntime(cluster, RuntimeConfig(functional=True))
+
+
+def fill(runtime, grid, region, value):
+    def body(ctx):
+        for box in region.boxes:
+            ctx.fragment(grid).scatter(box, np.full(box.widths(), value))
+
+    runtime.wait(
+        runtime.submit(
+            TaskSpec(
+                name=f"fill{value}",
+                writes={grid: region},
+                body=body,
+                size_hint=region.size(),
+            )
+        )
+    )
+
+
+def read_all(runtime, grid):
+    def body(ctx):
+        return ctx.fragment(grid).gather(Box.full(grid.shape)).copy()
+
+    return runtime.wait(
+        runtime.submit(
+            TaskSpec(
+                name="readback",
+                reads={grid: grid.full_region},
+                body=body,
+                size_hint=1,
+            )
+        )
+    )
+
+
+class TestFailProcess:
+    def test_failure_drops_data_and_index_entries(self):
+        runtime = make_runtime()
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(4))
+        lost_region = runtime.process(2).data_manager.owned_region(grid)
+        runtime.fail_process(2)
+        assert runtime.process(2).failed
+        assert runtime.index.owned_region(grid, 2).is_empty()
+        coverage = grid.empty_region()
+        for pid in runtime.alive_processes():
+            coverage = coverage.union(
+                runtime.process(pid).data_manager.present_region(grid)
+            )
+        assert coverage.intersect(lost_region).is_empty()
+
+    def test_enqueue_to_failed_process_rejected(self):
+        runtime = make_runtime()
+        runtime.fail_process(1)
+        from repro.runtime.tasks import Treeture
+
+        with pytest.raises(RuntimeError, match="failed process"):
+            runtime.process(1).enqueue(
+                TaskSpec(name="t"), Treeture(runtime.engine, "t"), "leaf"
+            )
+
+    def test_failure_requires_barrier(self):
+        runtime = make_runtime()
+        runtime.process(1).queue.append(("fake", None, "leaf"))
+        with pytest.raises(RuntimeError, match="barrier"):
+            runtime.fail_process(1)
+
+    def test_scheduler_routes_around_failed_nodes(self):
+        runtime = make_runtime()
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid)
+        runtime.fail_process(3)
+        # the home hint for this region points at the failed process 3
+        homes = runtime.home_map(grid)
+        task = TaskSpec(
+            name="t", writes={grid: homes[3]}, flops=1e3,
+            size_hint=homes[3].size(), body=lambda ctx: None,
+        )
+        runtime.wait(runtime.submit(task, origin=0))
+        assert runtime.process(3).executed_leaves == 0
+        assert sum(p.executed_leaves for p in runtime.processes) == 1
+
+
+class TestRecovery:
+    def test_lost_regions_recover_from_checkpoint(self):
+        runtime = make_runtime()
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(4))
+        fill(runtime, grid, grid.full_region, 1.0)
+
+        manager = ResilienceManager(runtime)
+        snapshot_future = runtime.engine.spawn(manager.checkpoint())
+        runtime.run()
+        snapshot = snapshot_future.value
+
+        # survivors advance past the checkpoint on their own region
+        survivor_region = runtime.process(0).data_manager.owned_region(grid)
+        fill(runtime, grid, survivor_region, 2.0)
+
+        victim = 2
+        lost_region = runtime.process(victim).data_manager.owned_region(grid)
+        runtime.fail_process(victim)
+        done = runtime.engine.spawn(manager.recover_lost_data(snapshot))
+        runtime.run()
+        assert done.done
+        runtime.check_ownership_invariants()
+
+        values = read_all(runtime, grid)
+        # survivor kept its post-checkpoint state ...
+        for coord in survivor_region.elements():
+            assert values[coord] == 2.0
+        # ... the lost region rolled back to checkpoint values
+        for coord in lost_region.elements():
+            assert values[coord] == 1.0
+        # nothing in elems(d) is missing
+        coverage = grid.empty_region()
+        for pid in runtime.alive_processes():
+            coverage = coverage.union(
+                runtime.process(pid).data_manager.owned_region(grid)
+            )
+        assert coverage.same_elements(grid.full_region)
+
+    def test_recovery_spreads_over_survivors(self):
+        runtime = make_runtime()
+        grid = Grid((16, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(4))
+        fill(runtime, grid, grid.full_region, 5.0)
+        manager = ResilienceManager(runtime)
+        snapshot_future = runtime.engine.spawn(manager.checkpoint())
+        runtime.run()
+        runtime.fail_process(1)
+        done = runtime.engine.spawn(
+            manager.recover_lost_data(snapshot_future.value)
+        )
+        runtime.run()
+        assert done.done
+        assert runtime.metrics.counter("resilience.recoveries") == 1
+        # work continues across the whole grid afterwards
+        fill(runtime, grid, grid.full_region, 6.0)
+        assert np.all(read_all(runtime, grid) == 6.0)
+
+    def test_recovery_noop_when_nothing_lost(self):
+        runtime = make_runtime()
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(4))
+        fill(runtime, grid, grid.full_region, 1.0)
+        manager = ResilienceManager(runtime)
+        snapshot_future = runtime.engine.spawn(manager.checkpoint())
+        runtime.run()
+        before = runtime.metrics.counter("dm.imports")
+        done = runtime.engine.spawn(
+            manager.recover_lost_data(snapshot_future.value)
+        )
+        runtime.run()
+        assert done.done
+        assert runtime.metrics.counter("dm.imports") == before

@@ -1,0 +1,162 @@
+"""Tests for GPU offloading — the variant-selection freedom of Example 2.3
+extended to accelerators, enabled by runtime data-distribution control."""
+
+import pytest
+
+from repro.items.grid import Grid
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.policies import DataAwarePolicy
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
+from repro.sim.accelerator import AcceleratorSpec, SimAccelerator
+from repro.sim.cluster import Cluster, ClusterSpec
+from repro.sim.engine import SimEngine
+
+
+def gpu_cluster(nodes=2, gpus=1, **kwargs):
+    return Cluster(
+        ClusterSpec(
+            num_nodes=nodes,
+            cores_per_node=2,
+            flops_per_core=1e9,
+            gpus_per_node=gpus,
+            gpu=AcceleratorSpec(
+                flops=1e12, link_bandwidth=10e9, link_latency=5e-6,
+                launch_overhead=5e-6,
+            ),
+            **kwargs,
+        )
+    )
+
+
+class TestSimAccelerator:
+    def test_transfer_and_launch_timing(self):
+        engine = SimEngine()
+        spec = AcceleratorSpec(
+            flops=1e12, link_bandwidth=10e9, link_latency=1e-6,
+            launch_overhead=2e-6,
+        )
+        device = SimAccelerator(engine, 0, spec)
+        device.transfer(10e9)  # 1 s of link time
+        device.launch(1e12)  # overhead + 1 s of compute
+        engine.run()
+        # link and compute overlap: total ≈ max path = transfer then kernel
+        assert engine.now >= 1.0
+        assert device.kernels_launched == 1
+        assert device.bytes_transferred == 10e9
+
+    def test_kernels_serialize(self):
+        engine = SimEngine()
+        device = SimAccelerator(engine, 0, AcceleratorSpec(flops=1e12))
+        device.launch(1e12)
+        device.launch(1e12)
+        engine.run()
+        assert engine.now >= 2.0
+
+    def test_estimate(self):
+        engine = SimEngine()
+        spec = AcceleratorSpec(
+            flops=1e12, link_bandwidth=10e9, link_latency=1e-6,
+            launch_overhead=1e-6,
+        )
+        device = SimAccelerator(engine, 0, spec)
+        estimate = device.offload_time_estimate(1e9, 1e6)
+        # 2× latency + bytes/bandwidth + launch + flops/rate
+        assert estimate == pytest.approx(2e-6 + 1e-4 + 1e-6 + 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(flops=0)
+        engine = SimEngine()
+        device = SimAccelerator(engine, 0, AcceleratorSpec())
+        with pytest.raises(ValueError):
+            device.transfer(-1)
+        with pytest.raises(ValueError):
+            device.launch(-1)
+
+
+class TestOffloadPolicy:
+    def make(self, gpus=1):
+        runtime = AllScaleRuntime(
+            gpu_cluster(gpus=gpus), RuntimeConfig(functional=False)
+        )
+        return runtime, DataAwarePolicy()
+
+    def test_heavy_task_offloaded(self):
+        runtime, policy = self.make()
+        task = TaskSpec(name="heavy", flops=1e9, gpu_flops=1e9, size_hint=1)
+        assert policy.pick_variant(task, runtime) == "gpu"
+
+    def test_tiny_task_stays_on_cpu(self):
+        runtime, policy = self.make()
+        # 1 µs of CPU work: transfer/launch overheads dominate
+        task = TaskSpec(name="tiny", flops=1e3, gpu_flops=1e3, size_hint=1)
+        assert policy.pick_variant(task, runtime) == "leaf"
+
+    def test_no_gpu_variant_without_gpu_flops(self):
+        runtime, policy = self.make()
+        task = TaskSpec(name="cpu-only", flops=1e9, size_hint=1)
+        assert policy.pick_variant(task, runtime) == "leaf"
+
+    def test_no_offload_on_cpu_cluster(self):
+        runtime, policy = self.make(gpus=0)
+        task = TaskSpec(name="heavy", flops=1e9, gpu_flops=1e9, size_hint=1)
+        assert policy.pick_variant(task, runtime) == "leaf"
+
+    def test_transfer_volume_considered(self):
+        runtime, policy = self.make()
+        grid = Grid((2000, 2000), name="g")
+        runtime.register_item(grid)
+        # modest compute over a huge data footprint: transfers dominate
+        task = TaskSpec(
+            name="data-heavy",
+            reads={grid: grid.full_region},
+            writes={grid: grid.full_region},
+            flops=5e6,
+            gpu_flops=5e6,
+            size_hint=grid.full_region.size(),
+        )
+        assert policy.pick_variant(task, runtime) == "leaf"
+
+
+class TestOffloadExecution:
+    def test_offloaded_task_runs_on_device(self):
+        runtime = AllScaleRuntime(
+            gpu_cluster(), RuntimeConfig(functional=False)
+        )
+        grid = Grid((64, 64), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        task = TaskSpec(
+            name="kernel",
+            writes={grid: runtime.home_map(grid)[0]},
+            flops=1e9,
+            gpu_flops=1e9,
+            size_hint=2048,
+        )
+        runtime.wait(runtime.submit(task))
+        assert runtime.metrics.counter("proc.gpu_offloads") == 1
+        device = runtime.cluster.accelerators[0][0]
+        assert device.kernels_launched == 1
+        assert device.bytes_transferred > 0
+        # device time (1 ms) ≪ what a CPU core would need (1 s)
+        assert runtime.now < 0.1
+
+    def test_offload_speedup_end_to_end(self):
+        def run(gpus):
+            runtime = AllScaleRuntime(
+                gpu_cluster(gpus=gpus), RuntimeConfig(functional=False)
+            )
+            treetures = [
+                runtime.submit(
+                    TaskSpec(
+                        name=f"k{k}", flops=5e8, gpu_flops=5e8, size_hint=1
+                    ),
+                    origin=k % 2,
+                )
+                for k in range(8)
+            ]
+            for treeture in treetures:
+                runtime.wait(treeture)
+            return runtime.now
+
+        assert run(gpus=1) < run(gpus=0) / 10

@@ -1,0 +1,161 @@
+"""Unit tests for the hierarchical distributed index (Fig. 5, Algorithm 1)."""
+
+import pytest
+
+from repro.items.grid import Grid
+from repro.runtime.index import HierarchicalIndex
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+def make_index(num_processes):
+    cluster = Cluster(ClusterSpec(num_nodes=num_processes, cores_per_node=1))
+    index = HierarchicalIndex(cluster.network, num_processes)
+    return cluster, index
+
+
+def run_lookup(cluster, index, item, region, origin):
+    result = cluster.engine.spawn(index.lookup(item, region, origin))
+    cluster.engine.run()
+    assert result.done
+    return result.value
+
+
+class TestHierarchyGeometry:
+    def test_levels(self):
+        assert make_index(1)[1].levels == 1
+        assert make_index(2)[1].levels == 2
+        assert make_index(8)[1].levels == 4
+        assert make_index(5)[1].levels == 4  # padded to next power of two
+
+    def test_node_roots_match_fig5(self):
+        _, index = make_index(8)
+        # Fig. 5: process0 hosts levels 2,3,4; process4 hosts level 3 node
+        assert index.node_root(2, 1) == 0
+        assert index.node_root(2, 2) == 2
+        assert index.node_root(3, 5) == 4
+        assert index.node_root(4, 7) == 0
+
+    def test_children(self):
+        _, index = make_index(8)
+        assert index.children_of(4, 0) == (0, 4)
+        assert index.children_of(3, 4) == (4, 6)
+        assert index.children_of(2, 2) == (2, 3)
+
+    def test_host_is_left_descendant(self):
+        _, index = make_index(8)
+        assert index.host_of(4, 0) == 0
+        assert index.host_of(3, 4) == 4
+
+
+class TestOwnershipAndLookup:
+    def setup_method(self):
+        self.cluster, self.index = make_index(8)
+        self.grid = Grid((64, 64), name="g")
+        self.index.register_item(self.grid)
+
+    def place_blocks(self):
+        regions = self.grid.decompose(8)
+        for pid, region in enumerate(regions):
+            self.index.update_ownership(self.grid, pid, region)
+        return regions
+
+    def test_unregistered_item_rejected(self):
+        other = Grid((4, 4))
+        with pytest.raises(KeyError):
+            self.index.update_ownership(other, 0, other.full_region)
+
+    def test_leaf_and_ancestor_covers(self):
+        regions = self.place_blocks()
+        for pid, region in enumerate(regions):
+            assert self.index.owned_region(self.grid, pid).same_elements(region)
+        # root covers everything
+        root_cover = self.index.covered(self.grid, self.index.levels, 0)
+        assert root_cover.same_elements(self.grid.full_region)
+
+    def test_lookup_local_region_resolves_without_hops(self):
+        regions = self.place_blocks()
+        hops_before = self.index.lookup_hops
+        mapping, unresolved = run_lookup(
+            self.cluster, self.index, self.grid, regions[3], 3
+        )
+        assert unresolved.is_empty()
+        assert [pid for _r, pid in mapping] == [3]
+        assert self.index.lookup_hops == hops_before
+
+    def test_lookup_remote_region_escalates(self):
+        regions = self.place_blocks()
+        hops_before = self.index.lookup_hops
+        mapping, unresolved = run_lookup(
+            self.cluster, self.index, self.grid, regions[7], 0
+        )
+        assert unresolved.is_empty()
+        assert {pid for _r, pid in mapping} == {7}
+        assert self.index.lookup_hops > hops_before
+
+    def test_lookup_spanning_region(self):
+        self.place_blocks()
+        mapping, unresolved = run_lookup(
+            self.cluster, self.index, self.grid, self.grid.full_region, 2
+        )
+        assert unresolved.is_empty()
+        owners = {pid for _r, pid in mapping}
+        assert owners == set(range(8))
+        # mapping pieces tile the request
+        total = self.grid.empty_region()
+        for part, _pid in mapping:
+            assert total.intersect(part).is_empty()
+            total = total.union(part)
+        assert total.same_elements(self.grid.full_region)
+
+    def test_lookup_unresolved_part(self):
+        regions = self.place_blocks()
+        # remove ownership of block 5
+        self.index.update_ownership(self.grid, 5, self.grid.empty_region())
+        mapping, unresolved = run_lookup(
+            self.cluster, self.index, self.grid, self.grid.full_region, 0
+        )
+        assert unresolved.same_elements(regions[5])
+
+    def test_lookup_empty_region(self):
+        mapping, unresolved = run_lookup(
+            self.cluster, self.index, self.grid, self.grid.empty_region(), 0
+        )
+        assert mapping == [] and unresolved.is_empty()
+
+    def test_ownership_shrink_recomputes_ancestors(self):
+        regions = self.place_blocks()
+        self.index.update_ownership(self.grid, 0, self.grid.empty_region())
+        root_cover = self.index.covered(self.grid, self.index.levels, 0)
+        assert root_cover.same_elements(
+            self.grid.full_region.difference(regions[0])
+        )
+
+
+class TestSingleProcess:
+    def test_trivial_lookup(self):
+        cluster, index = make_index(1)
+        grid = Grid((8, 8))
+        index.register_item(grid)
+        index.update_ownership(grid, 0, grid.full_region)
+        mapping, unresolved = run_lookup(cluster, index, grid, grid.full_region, 0)
+        assert unresolved.is_empty()
+        assert [pid for _r, pid in mapping] == [0]
+        assert index.lookup_hops == 0
+
+
+class TestLookupCostScaling:
+    def test_hops_grow_logarithmically(self):
+        """Algorithm 1's point: remote lookups cost O(log P) hops."""
+        worst = {}
+        for P in (4, 16, 64):
+            cluster, index = make_index(P)
+            grid = Grid((P * 8, 8), name=f"g{P}")
+            index.register_item(grid)
+            for pid, region in enumerate(grid.decompose(P)):
+                index.update_ownership(grid, pid, region)
+            before = index.lookup_hops
+            # worst case: opposite corner of the hierarchy
+            run_lookup(cluster, index, grid, grid.decompose(P)[P - 1], 0)
+            worst[P] = index.lookup_hops - before
+        assert worst[4] <= worst[16] <= worst[64]
+        assert worst[64] <= 14  # a handful of hops, not O(P)

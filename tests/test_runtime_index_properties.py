@@ -1,0 +1,147 @@
+"""Property-based tests for the hierarchical index under random churn.
+
+Random sequences of ownership updates (growth, shrink, handoffs) must keep
+every inner node's covered region equal to the union of its children, and
+every lookup must return exactly the intersection of the request with the
+true ownership map — regardless of origin.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.items.grid import Grid
+from repro.regions.box import Box, BoxSetRegion
+from repro.runtime.index import HierarchicalIndex
+from repro.sim.cluster import Cluster, ClusterSpec
+
+SIDE = 16
+
+
+def make_index(num_processes):
+    cluster = Cluster(ClusterSpec(num_nodes=num_processes, cores_per_node=1))
+    index = HierarchicalIndex(cluster.network, num_processes)
+    return cluster, index
+
+
+def check_hierarchy_consistency(index, item, num_processes):
+    """Inner covers equal the union of their children at every level."""
+    for level in range(2, index.levels + 1):
+        span = 1 << (level - 1)
+        for root in range(0, num_processes, span):
+            left, right = index.children_of(level, root)
+            expected = index.covered(item, level - 1, left)
+            if right < num_processes:
+                expected = expected.union(
+                    index.covered(item, level - 1, right)
+                )
+            actual = index.covered(item, level, root)
+            assert actual.same_elements(expected), (
+                f"level {level} node {root} diverged"
+            )
+
+
+boxes = st.tuples(
+    st.integers(0, SIDE - 1),
+    st.integers(0, SIDE - 1),
+    st.integers(1, 6),
+    st.integers(1, 6),
+).map(
+    lambda t: Box.of(
+        (t[0], t[1]), (min(SIDE, t[0] + t[2]), min(SIDE, t[1] + t[3]))
+    )
+)
+
+
+@given(
+    num_processes=st.sampled_from([1, 2, 3, 4, 6, 8]),
+    updates=st.lists(
+        st.tuples(st.integers(0, 7), boxes, st.booleans()),
+        min_size=1,
+        max_size=15,
+    ),
+    lookups=st.lists(
+        st.tuples(st.integers(0, 7), boxes), min_size=1, max_size=5
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_random_updates_keep_hierarchy_consistent(
+    num_processes, updates, lookups
+):
+    cluster, index = make_index(num_processes)
+    grid = Grid((SIDE, SIDE), name="g")
+    index.register_item(grid)
+    # ground truth: per-process owned regions (kept disjoint by always
+    # removing a region from everyone before granting it)
+    truth = [grid.empty_region() for _ in range(num_processes)]
+
+    for pid_raw, box, grow in updates:
+        pid = pid_raw % num_processes
+        region = BoxSetRegion((box,))
+        if grow:
+            for other in range(num_processes):
+                if other != pid:
+                    truth[other] = truth[other].difference(region)
+                    index.update_ownership(grid, other, truth[other])
+            truth[pid] = truth[pid].union(region)
+        else:
+            truth[pid] = truth[pid].difference(region)
+        index.update_ownership(grid, pid, truth[pid])
+
+    for pid in range(num_processes):
+        assert index.owned_region(grid, pid).same_elements(truth[pid])
+    check_hierarchy_consistency(index, grid, num_processes)
+
+    total = grid.empty_region()
+    for region in truth:
+        total = total.union(region)
+
+    for origin_raw, box in lookups:
+        origin = origin_raw % num_processes
+        request = BoxSetRegion((box,))
+        done = cluster.engine.spawn(index.lookup(grid, request, origin))
+        cluster.engine.run()
+        mapping, unresolved = done.value
+        # resolved pieces are disjoint, correct, and complete
+        resolved = grid.empty_region()
+        for part, pid in mapping:
+            assert truth[pid].covers(part), "wrong owner reported"
+            assert resolved.intersect(part).is_empty(), "overlapping pieces"
+            resolved = resolved.union(part)
+        assert resolved.same_elements(request.intersect(total))
+        assert unresolved.same_elements(request.difference(total))
+
+
+@given(seed_boxes=st.lists(boxes, min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_lookup_is_origin_independent(seed_boxes):
+    num_processes = 4
+    cluster, index = make_index(num_processes)
+    grid = Grid((SIDE, SIDE), name="g")
+    index.register_item(grid)
+    for k, box in enumerate(seed_boxes):
+        pid = k % num_processes
+        region = BoxSetRegion((box,))
+        current = index.owned_region(grid, pid)
+        for other in range(num_processes):
+            if other != pid:
+                index.update_ownership(
+                    grid,
+                    other,
+                    index.owned_region(grid, other).difference(region),
+                )
+        index.update_ownership(grid, pid, current.union(region))
+
+    request = grid.full_region
+    results = []
+    for origin in range(num_processes):
+        done = cluster.engine.spawn(index.lookup(grid, request, origin))
+        cluster.engine.run()
+        mapping, unresolved = done.value
+        owned_by = {}
+        for part, pid in mapping:
+            for element in part.elements():
+                owned_by[element] = pid
+        results.append((owned_by, unresolved.size()))
+    first = results[0]
+    for other in results[1:]:
+        assert other == first

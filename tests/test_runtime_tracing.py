@@ -1,0 +1,113 @@
+"""Tests for the per-task execution tracer."""
+
+import pytest
+
+from repro.api import box_region, pfor
+from repro.items.grid import Grid
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
+from repro.runtime.tracing import ExecutionTracer, TaskRecord
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+def traced_runtime(nodes=2):
+    cluster = Cluster(
+        ClusterSpec(num_nodes=nodes, cores_per_node=2, flops_per_core=1e9)
+    )
+    runtime = AllScaleRuntime(cluster, RuntimeConfig(functional=False))
+    tracer = ExecutionTracer()
+    runtime.tracer = tracer
+    return runtime, tracer
+
+
+class TestTaskRecord:
+    def test_phase_arithmetic(self):
+        record = TaskRecord(
+            name="t", pid=0, enqueued=1.0, started=2.0, data_ready=5.0,
+            locks_held=6.0, finished=10.0,
+        )
+        assert record.queue_wait == 1.0
+        assert record.staging_time == 3.0
+        assert record.lock_wait == 1.0
+        assert record.compute_time == 4.0
+        assert record.total == 9.0
+
+
+class TestExecutionTracer:
+    def test_records_leaf_lifecycle(self):
+        runtime, tracer = traced_runtime()
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        task = TaskSpec(
+            name="work",
+            reads={grid: grid.full_region},
+            flops=1e6,
+            size_hint=64,
+        )
+        runtime.wait(runtime.submit(task))
+        assert len(tracer.records) == 1
+        record = tracer.records[0]
+        assert record.name == "work"
+        assert record.finished >= record.locks_held >= record.data_ready
+        assert record.data_ready >= record.started >= record.enqueued
+        assert record.compute_time > 0
+        # the full-grid read had to replicate remote data: staging happened
+        assert record.staging_time > 0
+
+    def test_breakdown_over_pfor(self):
+        runtime, tracer = traced_runtime()
+        grid = Grid((32, 32), name="g")
+        runtime.register_item(grid)
+        sweep = pfor(
+            runtime,
+            (0, 0),
+            (32, 32),
+            body=lambda ctx, box: None,
+            writes=lambda box: {grid: box_region(grid, box)},
+            flops_per_element=100.0,
+        )
+        runtime.wait(sweep)
+        breakdown = tracer.breakdown()
+        assert breakdown.tasks == len(tracer.records) > 1
+        fractions = breakdown.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        assert fractions["compute"] > 0
+
+    def test_slowest_sorted(self):
+        runtime, tracer = traced_runtime()
+        for k, flops in enumerate((1e5, 5e6, 1e6)):
+            runtime.wait(
+                runtime.submit(
+                    TaskSpec(name=f"t{k}", flops=flops, size_hint=1)
+                )
+            )
+        slowest = tracer.slowest(2)
+        assert len(slowest) == 2
+        assert slowest[0].name == "t1"  # the 5e6-flop task
+
+    def test_render_outputs(self):
+        runtime, tracer = traced_runtime()
+        for k in range(4):
+            runtime.wait(
+                runtime.submit(
+                    TaskSpec(name=f"t{k}", flops=1e6, size_hint=1),
+                    origin=k % 2,
+                )
+            )
+        gantt = tracer.render_gantt(num_processes=2)
+        assert "p0" in gantt and "p1" in gantt
+        breakdown = tracer.render_breakdown()
+        assert "compute" in breakdown and "%" in breakdown
+
+    def test_record_cap(self):
+        tracer = ExecutionTracer(max_records=2)
+        for k in range(5):
+            tracer.on_enqueue(k, f"t{k}", 0, 0.0)
+            tracer.on_finish(k, 1.0)
+        assert len(tracer.records) <= 2
+
+    def test_empty_tracer_renders(self):
+        tracer = ExecutionTracer()
+        assert tracer.utilization(2) == [[0.0] * 20, [0.0] * 20]
+        assert "0 tasks" in tracer.render_breakdown()

@@ -1,0 +1,175 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimEngine
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        engine = SimEngine()
+        fired = []
+        for k in range(5):
+            engine.schedule(1.0, lambda k=k: fired.append(k))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_cancel(self):
+        engine = SimEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        engine = SimEngine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = SimEngine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_run_until(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run(until=2.0)
+        assert fired == [1]
+        assert engine.now == 2.0
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_events_scheduled_during_run(self):
+        engine = SimEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule(1.0, lambda: fired.append("second"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == ["first", "second"]
+        assert engine.now == 2.0
+
+
+class TestFutures:
+    def test_complete_once(self):
+        engine = SimEngine()
+        future = engine.future()
+        future.complete(42)
+        assert future.done and future.value == 42
+        with pytest.raises(RuntimeError):
+            future.complete(43)
+
+    def test_callback_after_completion_runs_immediately(self):
+        engine = SimEngine()
+        future = engine.future()
+        future.complete("v")
+        seen = []
+        future.add_callback(seen.append)
+        assert seen == ["v"]
+
+    def test_all_of(self):
+        engine = SimEngine()
+        futures = [engine.future() for _ in range(3)]
+        combined = engine.all_of(futures)
+        futures[1].complete("b")
+        futures[0].complete("a")
+        assert not combined.done
+        futures[2].complete("c")
+        assert combined.done
+        assert combined.value == ["a", "b", "c"]
+
+    def test_all_of_empty(self):
+        engine = SimEngine()
+        combined = engine.all_of([])
+        assert combined.done and combined.value == []
+
+
+class TestProcesses:
+    def test_delay_yield(self):
+        engine = SimEngine()
+
+        def proc():
+            yield 2.0
+            yield 3.0
+            return engine.now
+
+        result = engine.spawn(proc())
+        engine.run()
+        assert result.done and result.value == 5.0
+
+    def test_future_yield_passes_value(self):
+        engine = SimEngine()
+        gate = engine.future()
+
+        def proc():
+            value = yield gate
+            return value * 2
+
+        result = engine.spawn(proc())
+        engine.schedule(1.0, lambda: gate.complete(21))
+        engine.run()
+        assert result.value == 42
+
+    def test_invalid_yield_rejected(self):
+        engine = SimEngine()
+
+        def proc():
+            yield "nope"
+
+        # the first step runs eagerly inside spawn
+        with pytest.raises(TypeError):
+            engine.spawn(proc())
+
+    def test_nested_yield_from(self):
+        engine = SimEngine()
+
+        def inner():
+            yield 1.0
+            return "inner-done"
+
+        def outer():
+            value = yield from inner()
+            yield 1.0
+            return value
+
+        result = engine.spawn(outer())
+        engine.run()
+        assert result.value == "inner-done"
+        assert engine.now == 2.0
+
+    def test_determinism_across_runs(self):
+        def scenario():
+            engine = SimEngine()
+            log = []
+
+            def proc(pid):
+                yield 0.001 * (pid % 3)
+                log.append((pid, engine.now))
+                yield 0.002
+                log.append((pid, engine.now))
+
+            for pid in range(6):
+                engine.spawn(proc(pid))
+            engine.run()
+            return log
+
+        assert scenario() == scenario()

@@ -1,0 +1,123 @@
+"""Unit tests for the network model and fat-tree topology."""
+
+import pytest
+
+from repro.sim.engine import SimEngine
+from repro.sim.metrics import MetricRegistry
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.topology import FatTreeTopology
+
+
+class TestFatTreeTopology:
+    def test_hops(self):
+        topo = FatTreeTopology(64, radix=16)
+        assert topo.switch_hops(0, 0) == 0
+        assert topo.switch_hops(0, 15) == 1
+        assert topo.switch_hops(0, 16) == 3
+        assert topo.switch_hops(3, 3) == 0
+
+    def test_symmetry(self):
+        topo = FatTreeTopology(64, radix=4)
+        for a, b in [(0, 5), (1, 17), (3, 63)]:
+            assert topo.switch_hops(a, b) == topo.switch_hops(b, a)
+
+    def test_max_hops(self):
+        assert FatTreeTopology(1).max_hops() == 0
+        assert FatTreeTopology(16, radix=16).max_hops() == 1
+        assert FatTreeTopology(17, radix=16).max_hops() == 3
+
+    def test_bounds(self):
+        topo = FatTreeTopology(4)
+        with pytest.raises(ValueError):
+            topo.switch_hops(0, 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FatTreeTopology(0)
+        with pytest.raises(ValueError):
+            FatTreeTopology(4, radix=1)
+
+
+class TestNetwork:
+    def make(self, nodes=4, **cfg):
+        engine = SimEngine()
+        network = Network(
+            engine,
+            FatTreeTopology(nodes),
+            NetworkConfig(**cfg),
+            MetricRegistry(),
+        )
+        return engine, network
+
+    def test_loopback_is_cheap(self):
+        engine, network = self.make()
+        future = network.send(0, 0, 1_000_000)
+        engine.run()
+        assert future.done
+        assert engine.now == pytest.approx(
+            network.config.loopback_overhead
+        )
+
+    def test_transfer_time_components(self):
+        engine, network = self.make()
+        cfg = network.config
+        nbytes = 1_000_000
+        future = network.send(0, 1, nbytes)
+        engine.run()
+        expected = (
+            cfg.send_overhead
+            + nbytes / cfg.bandwidth
+            + cfg.base_latency
+            + cfg.hop_latency * 1
+            + cfg.recv_overhead
+        )
+        assert engine.now == pytest.approx(expected)
+        assert network.transfer_time_estimate(0, 1, nbytes) == pytest.approx(
+            expected
+        )
+
+    def test_nic_serialization_queues_messages(self):
+        engine, network = self.make()
+        cfg = network.config
+        n = 8
+        done = [network.send(0, 1, 1_000_000) for _ in range(n)]
+        engine.run()
+        assert all(f.done for f in done)
+        serial = cfg.send_overhead + 1_000_000 / cfg.bandwidth
+        # last message could not leave before (n-1) predecessors serialized
+        assert engine.now >= n * serial
+
+    def test_disjoint_senders_run_in_parallel(self):
+        engine, network = self.make()
+        cfg = network.config
+        network.send(0, 1, 10_000_000)
+        network.send(2, 3, 10_000_000)
+        engine.run()
+        single = network.transfer_time_estimate(0, 1, 10_000_000)
+        assert engine.now == pytest.approx(single)
+
+    def test_nic_backlog_signal(self):
+        engine, network = self.make()
+        network.send(0, 1, 50_000_000)
+        assert network.nic_backlog(0) > 0
+        engine.run()
+        assert network.nic_backlog(0) == 0
+
+    def test_metrics_counted(self):
+        engine, network = self.make()
+        network.send(0, 1, 100)
+        network.send(1, 2, 200)
+        engine.run()
+        assert network.metrics.counter("net.messages") == 2
+        assert network.metrics.counter("net.bytes") == 300
+
+    def test_negative_size_rejected(self):
+        _, network = self.make()
+        with pytest.raises(ValueError):
+            network.send(0, 1, -1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(bandwidth=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(base_latency=-1)
