@@ -18,7 +18,14 @@ import sys
 import time
 
 from repro.bench.figures import fig7_ipic3d, fig7_stencil, fig7_tpc
-from repro.bench.report import render_series, render_table1, series_to_csv
+from repro.bench.report import (
+    region_cache_csv,
+    region_cache_stats,
+    render_region_cache,
+    render_series,
+    render_table1,
+    series_to_csv,
+)
 from repro.bench.tables import table1
 
 PANELS = {
@@ -33,16 +40,22 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation tables and figures.",
     )
+    choices = ["table1", *PANELS, "all"]
     parser.add_argument(
         "artifacts",
-        nargs="+",
-        choices=["table1", *PANELS, "all"],
-        help="which artifact(s) to regenerate",
+        nargs="*",
+        metavar=f"{{{','.join(choices)}}}",
+        help="which artifact(s) to regenerate (default: all)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="smaller sweeps (1/4/16 nodes, reduced workloads)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="minimal CI smoke run (1/4 nodes, reduced workloads)",
     )
     parser.add_argument(
         "--out",
@@ -52,7 +65,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    wanted = set(args.artifacts)
+    for artifact in args.artifacts:
+        if artifact not in choices:
+            parser.error(
+                f"argument artifacts: invalid choice: {artifact!r} "
+                f"(choose from {', '.join(map(repr, choices))})"
+            )
+
+    wanted = set(args.artifacts or ["all"])
     if "all" in wanted:
         wanted = {"table1", *PANELS}
     if args.out is not None:
@@ -62,11 +82,13 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table1(table1()))
         print()
 
+    ran_panels = False
     for name, build in PANELS.items():
         if name not in wanted:
             continue
+        ran_panels = True
         started = time.perf_counter()
-        series = build(quick=args.quick)
+        series = build(quick=args.quick, smoke=args.smoke)
         elapsed = time.perf_counter() - started
         print(render_series(series))
         print(f"(regenerated in {elapsed:.1f}s wall time)")
@@ -74,6 +96,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.out is not None:
             path = args.out / f"fig7_{name}.csv"
             path.write_text(series_to_csv(series))
+            print(f"wrote {path}")
+            print()
+
+    if ran_panels:
+        stats = region_cache_stats()
+        print(render_region_cache(stats))
+        print()
+        if args.out is not None:
+            path = args.out / "region_cache.csv"
+            path.write_text(region_cache_csv(stats))
             print(f"wrote {path}")
             print()
     return 0

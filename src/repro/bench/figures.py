@@ -27,7 +27,9 @@ from repro.runtime.config import RuntimeConfig
 from repro.sim.cluster import Cluster, meggie_like_spec
 
 
-def quick_node_counts(quick: bool) -> tuple[int, ...]:
+def quick_node_counts(quick: bool, smoke: bool = False) -> tuple[int, ...]:
+    if smoke:
+        return (1, 4)
     return (1, 4, 16) if quick else FIG7_NODE_COUNTS
 
 
@@ -37,17 +39,18 @@ def _runtime_config() -> RuntimeConfig:
     return RuntimeConfig(functional=False, oversubscription=2)
 
 
-def fig7_stencil(quick: bool = False) -> ScalingSeries:
+def fig7_stencil(quick: bool = False, smoke: bool = False) -> ScalingSeries:
     """Fig. 7, left panel: stencil throughput [GFLOPS]."""
+    reduced = quick or smoke
     workload = StencilWorkload(
-        n_per_node=20_000 if not quick else 4_000,
-        timesteps=4 if not quick else 2,
+        n_per_node=20_000 if not reduced else 4_000,
+        timesteps=4 if not reduced else 2,
         functional=False,
     )
     return sweep(
         "stencil",
         "GFLOPS",
-        quick_node_counts(quick),
+        quick_node_counts(quick, smoke),
         lambda nodes: stencil_allscale(
             Cluster(meggie_like_spec(nodes)), workload, _runtime_config()
         ),
@@ -55,17 +58,18 @@ def fig7_stencil(quick: bool = False) -> ScalingSeries:
     )
 
 
-def fig7_ipic3d(quick: bool = False) -> ScalingSeries:
+def fig7_ipic3d(quick: bool = False, smoke: bool = False) -> ScalingSeries:
     """Fig. 7, middle panel: iPiC3D throughput [particles/s]."""
+    reduced = quick or smoke
     workload = IPic3DWorkload(
         particles_per_node=48_000_000,
-        cells_per_node_side=16 if not quick else 8,
-        timesteps=3 if not quick else 2,
+        cells_per_node_side=16 if not reduced else 8,
+        timesteps=3 if not reduced else 2,
     )
     return sweep(
         "ipic3d",
         "particles/s",
-        quick_node_counts(quick),
+        quick_node_counts(quick, smoke),
         lambda nodes: ipic3d_allscale(
             Cluster(meggie_like_spec(nodes)), workload, _runtime_config()
         ),
@@ -73,24 +77,25 @@ def fig7_ipic3d(quick: bool = False) -> ScalingSeries:
     )
 
 
-def fig7_tpc(quick: bool = False) -> ScalingSeries:
+def fig7_tpc(quick: bool = False, smoke: bool = False) -> ScalingSeries:
     """Fig. 7, right panel: TPC throughput [queries/s].
 
     Offered load: a fixed window of queries per measurement (see the
     ``queries_total`` note in :class:`~repro.apps.tpc.TPCWorkload`); both
     systems process the identical window.
     """
+    reduced = quick or smoke
     workload = TPCWorkload(
         total_points=2**29,
         depth=16,
-        queries_total=384 if not quick else 128,
+        queries_total=384 if not reduced else 128,
         functional=False,
         visit_flops=150.0,
         point_flops=30.0,
         task_subtree_height=9,
     )
     series = ScalingSeries(app="tpc", metric="queries/s")
-    for nodes in quick_node_counts(quick):
+    for nodes in quick_node_counts(quick, smoke):
         problem = make_problem(workload, nodes)
         allscale = tpc_allscale(
             Cluster(meggie_like_spec(nodes)),

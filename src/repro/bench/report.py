@@ -7,6 +7,7 @@ from typing import Sequence
 
 from repro.bench.harness import ScalingSeries
 from repro.bench.tables import Table1Row
+from repro.regions.kernel import get_kernel
 
 
 def render_table(
@@ -62,6 +63,57 @@ def render_series(series: ScalingSeries) -> str:
         ["nodes", "AllScale", "MPI", "linear", "AS/MPI"], rows
     )
     return f"{title}\n{body}"
+
+
+def region_cache_stats() -> dict[str, int]:
+    """Region-kernel efficiency counters for benchmark reports.
+
+    Returns the ``region.cache_hits`` / ``region.cache_misses`` /
+    ``region.interned`` totals plus the per-op breakdown, so BENCH_*.json
+    files can track region-op efficiency across PRs.
+    """
+    return get_kernel().stats()
+
+
+def render_region_cache(stats: dict[str, int] | None = None) -> str:
+    """The kernel's per-op hit/miss counters as an ASCII table."""
+    if stats is None:
+        stats = region_cache_stats()
+    ops = sorted(
+        {
+            name.split(".")[1]
+            for name in stats
+            if name.count(".") == 2 and name.endswith(".hits")
+        }
+    )
+    rows = []
+    for op in ops:
+        hits = stats.get(f"region.{op}.hits", 0)
+        misses = stats.get(f"region.{op}.misses", 0)
+        total = hits + misses
+        rate = f"{hits / total:.1%}" if total else "-"
+        rows.append((op, str(hits), str(misses), rate))
+    hits = stats.get("region.cache_hits", 0)
+    misses = stats.get("region.cache_misses", 0)
+    total = hits + misses
+    rate = f"{hits / total:.1%}" if total else "-"
+    rows.append(("TOTAL", str(hits), str(misses), rate))
+    body = render_table(["op", "hits", "misses", "hit rate"], rows)
+    interned = stats.get("region.interned", 0)
+    return (
+        f"Region kernel cache ({interned} regions interned)\n{body}"
+    )
+
+
+def region_cache_csv(stats: dict[str, int] | None = None) -> str:
+    """CSV text with the raw region-kernel counters."""
+    if stats is None:
+        stats = region_cache_stats()
+    out = io.StringIO()
+    out.write("counter,value\n")
+    for name in sorted(stats):
+        out.write(f"{name},{stats[name]}\n")
+    return out.getvalue()
 
 
 def series_to_csv(series: ScalingSeries) -> str:

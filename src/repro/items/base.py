@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.model.elements import DataItemDecl
 from repro.regions.base import Region
+from repro.regions.kernel import get_kernel
 from repro.util.ids import fresh_id
 
 
@@ -37,6 +38,7 @@ class DataItem(ABC):
 
     def __init__(self, name: str | None = None) -> None:
         self.name = name if name is not None else fresh_id("item")
+        self._empty_region: Region | None = None
 
     @property
     @abstractmethod
@@ -53,7 +55,12 @@ class DataItem(ABC):
         """Create a fragment holding ``region`` in some address space."""
 
     def empty_region(self) -> Region:
-        return self.full_region.difference(self.full_region)
+        # requested constantly (requirement defaults, share accumulators);
+        # computed once and pinned to the kernel's interned representative
+        if self._empty_region is None:
+            full = get_kernel().intern(self.full_region)
+            self._empty_region = full.difference(full)
+        return self._empty_region
 
     def decompose(self, parts: int) -> list[Region]:
         """Split ``elems(d)`` into ``parts`` near-equal regions.

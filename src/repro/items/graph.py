@@ -48,7 +48,7 @@ class PartitionedGraph(DataItem):
             tuple(sorted(set(neighbors))) for neighbors in adjacency
         )
         self.num_edges = edge_count
-        self._full = IntervalRegion.span(0, num_vertices)
+        self._full = IntervalRegion.span(0, num_vertices).interned()
         degree_sum = sum(len(n) for n in self.adjacency)
         # per-vertex storage: id + neighbor list
         self._vertex_bytes = max(16, 16 + 8 * degree_sum // num_vertices)

@@ -40,7 +40,7 @@ class Grid(DataItem):
         if element_bytes is not None and element_bytes < 1:
             raise ValueError(f"element_bytes must be >= 1, got {element_bytes}")
         self._element_bytes = element_bytes
-        self._full = BoxSetRegion.full_grid(self.shape)
+        self._full = BoxSetRegion.full_grid(self.shape).interned()
 
     @property
     def dims(self) -> int:

@@ -38,7 +38,7 @@ class HashMapItem(DataItem):
             raise ValueError("bytes_per_bucket must be >= 1")
         self.num_buckets = num_buckets
         self._bucket_bytes = bytes_per_bucket
-        self._full = IntervalRegion.span(0, num_buckets)
+        self._full = IntervalRegion.span(0, num_buckets).interned()
 
     @property
     def full_region(self) -> IntervalRegion:

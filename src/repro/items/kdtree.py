@@ -274,7 +274,7 @@ class KDTreeItem(DataItem):
     ) -> None:
         super().__init__(name)
         self.structure = structure
-        self._full = TreeRegion.full(structure.geometry)
+        self._full = TreeRegion.full(structure.geometry).interned()
         # storage per node: split metadata + bbox for internal nodes, the
         # point bucket for leaves; averaged into one per-element figure
         points_bytes = structure.total_points * structure.dims * 8

@@ -21,7 +21,7 @@ class ScalarItem(DataItem):
         if nbytes < 1:
             raise ValueError(f"nbytes must be >= 1, got {nbytes}")
         self._nbytes = nbytes
-        self._full = IntervalRegion.span(0, 1)
+        self._full = IntervalRegion.span(0, 1).interned()
 
     @property
     def full_region(self) -> IntervalRegion:

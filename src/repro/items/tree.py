@@ -45,10 +45,10 @@ class BalancedTree(DataItem):
             self.blocked_geometry: BlockedTreeGeometry | None = (
                 BlockedTreeGeometry(depth=depth, root_height=root_height)
             )
-            self._full: Region = BlockedTreeRegion.full(self.blocked_geometry)
+            self._full: Region = BlockedTreeRegion.full(self.blocked_geometry).interned()
         else:
             self.blocked_geometry = None
-            self._full = TreeRegion.full(self.geometry)
+            self._full = TreeRegion.full(self.geometry).interned()
 
     @property
     def depth(self) -> int:

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Sequence
 
 from repro.mpi.comm import Communicator
-from repro.regions.box import Box
+from repro.regions.box import Box, BoxSetRegion
 
 
 @dataclass(frozen=True)
@@ -55,32 +55,42 @@ def plan_halo_exchange(
 
     Rank ``j`` needs the cells of ``expand(blocks[j], radius) ∩ blocks[i]``
     from every other rank ``i`` — each such non-empty overlap is one
-    message per step.
+    message per step.  The overlaps are computed on kernel-backed
+    (interned, memoized) box regions, so re-planning the same
+    decomposition — every run of an MPI reference code does this once per
+    rank — hits the region kernel's cache instead of recomputing.
     """
     if radius < 0:
         raise ValueError(f"radius must be >= 0, got {radius}")
     plan = HaloPlan()
     if radius == 0:
         return plan
+    sender_regions = [BoxSetRegion((b,)).interned() for b in blocks]
     for j, receiver in enumerate(blocks):
-        grown = Box(
-            tuple(l - radius for l in receiver.lo),
-            tuple(h + radius for h in receiver.hi),
-        )
-        for i, sender in enumerate(blocks):
+        grown = BoxSetRegion(
+            (
+                Box(
+                    tuple(l - radius for l in receiver.lo),
+                    tuple(h + radius for h in receiver.hi),
+                ),
+            )
+        ).interned()
+        for i, sender in enumerate(sender_regions):
             if i == j:
                 continue
             overlap = grown.intersect(sender)
             if overlap.is_empty():
                 continue
-            plan.transfers.append(
-                HaloTransfer(
-                    src=i,
-                    dst=j,
-                    box=overlap,
-                    nbytes=overlap.size() * bytes_per_element,
+            # both operands are single boxes, so the cut is a single box
+            for box in overlap.boxes:
+                plan.transfers.append(
+                    HaloTransfer(
+                        src=i,
+                        dst=j,
+                        box=box,
+                        nbytes=box.size() * bytes_per_element,
+                    )
                 )
-            )
     return plan
 
 

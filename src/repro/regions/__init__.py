@@ -27,6 +27,7 @@ implementation described in the paper (Fig. 4) plus a reference type:
     ``2**h`` bottom sub-trees addressed through a bitmask (Fig. 4c).
 """
 
+from repro.regions.kernel import RegionKernel, get_kernel
 from repro.regions.base import Region, RegionMismatchError
 from repro.regions.explicit import ExplicitSetRegion
 from repro.regions.interval import Interval, IntervalRegion
@@ -36,7 +37,9 @@ from repro.regions.blocked_tree import BlockedTreeGeometry, BlockedTreeRegion
 
 __all__ = [
     "Region",
+    "RegionKernel",
     "RegionMismatchError",
+    "get_kernel",
     "ExplicitSetRegion",
     "Interval",
     "IntervalRegion",

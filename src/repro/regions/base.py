@@ -5,12 +5,25 @@ paper requires region types to be closed under union, intersection and
 set-difference; this module pins that contract down as an abstract base
 class so the runtime (data item manager, hierarchical index, scheduler) can
 operate on any region type uniformly.
+
+Regions are immutable value objects in a *canonical* normal form: every
+family implements :meth:`Region.cache_key`, a hashable key that identifies
+the addressed element set (plus family and geometry) uniquely.  The public
+algebra — ``union``/``intersect``/``difference`` and the predicates
+``covers``/``overlaps`` — does not run the per-family implementations
+directly; it routes through the process-wide
+:class:`~repro.regions.kernel.RegionKernel`, which interns canonical
+regions and memoizes the operations.  Families provide the raw
+implementations as ``_union``/``_intersect``/``_difference`` (and may
+override ``_covers`` with a fast path).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterator
+from typing import Any, Hashable, Iterator
+
+from repro.regions.kernel import get_kernel
 
 
 class RegionMismatchError(TypeError):
@@ -20,34 +33,72 @@ class RegionMismatchError(TypeError):
 class Region(ABC):
     """A finite, addressable subset of a data item's elements.
 
-    Subclasses must implement the three closure operations plus emptiness,
-    cardinality, enumeration, and membership.  Operators ``|``, ``&`` and
-    ``-`` are provided on top of them, and semantic (element-set) equality is
-    available through :meth:`same_elements` even when two instances use
-    different internal representations.
+    Subclasses must implement the three raw closure operations plus
+    emptiness, cardinality, enumeration, membership, and a canonical
+    :meth:`cache_key`.  Operators ``|``, ``&`` and ``-`` are provided on
+    top of the kernel-routed algebra, and semantic (element-set) equality
+    is available through :meth:`same_elements` even when two instances use
+    different region families.
     """
 
     __slots__ = ()
 
-    # -- closure operations (Section 3.1 requirements) ---------------------
+    # -- kernel-routed closure operations (Section 3.1 requirements) -------
 
-    @abstractmethod
     def union(self, other: "Region") -> "Region":
-        """Return the region addressing ``self ∪ other``."""
+        """Return the region addressing ``self ∪ other`` (memoized)."""
+        return get_kernel().union(self, other)
 
-    @abstractmethod
     def intersect(self, other: "Region") -> "Region":
-        """Return the region addressing ``self ∩ other``."""
+        """Return the region addressing ``self ∩ other`` (memoized)."""
+        return get_kernel().intersect(self, other)
+
+    def difference(self, other: "Region") -> "Region":
+        """Return the region addressing ``self \\ other`` (memoized)."""
+        return get_kernel().difference(self, other)
+
+    # -- raw per-family implementations (called by the kernel on miss) -----
 
     @abstractmethod
-    def difference(self, other: "Region") -> "Region":
-        """Return the region addressing ``self \\ other``."""
+    def _union(self, other: "Region") -> "Region":
+        """Uncached ``self ∪ other``."""
+
+    @abstractmethod
+    def _intersect(self, other: "Region") -> "Region":
+        """Uncached ``self ∩ other``."""
+
+    @abstractmethod
+    def _difference(self, other: "Region") -> "Region":
+        """Uncached ``self \\ other``."""
+
+    def _covers(self, other: "Region") -> bool:
+        """Uncached containment; families may override with a fast path."""
+        return other.difference(self).is_empty()
+
+    # -- canonical identity -------------------------------------------------
+
+    @abstractmethod
+    def cache_key(self) -> Hashable:
+        """Hashable canonical identity: family, geometry, element set.
+
+        Two regions have equal cache keys iff they are of the same family
+        over the same geometry and address exactly the same element set.
+        The kernel's intern table and memo-cache are keyed on it.
+        """
+
+    def interned(self) -> "Region":
+        """The canonical representative of this region (self if first)."""
+        return get_kernel().intern(self)
 
     # -- cardinality and membership ----------------------------------------
 
-    @abstractmethod
     def is_empty(self) -> bool:
         """Return ``True`` iff the region addresses no element."""
+        return self._is_empty()
+
+    @abstractmethod
+    def _is_empty(self) -> bool:
+        """Emptiness test; O(1) on every canonical form."""
 
     @abstractmethod
     def size(self) -> int:
@@ -69,14 +120,18 @@ class Region(ABC):
 
     def overlaps(self, other: "Region") -> bool:
         """Return ``True`` iff the two regions share at least one element."""
-        return not self.intersect(other).is_empty()
+        return get_kernel().overlaps(self, other)
 
     def covers(self, other: "Region") -> bool:
         """Return ``True`` iff every element of ``other`` is in ``self``."""
-        return other.difference(self).is_empty()
+        return get_kernel().covers(self, other)
 
     def same_elements(self, other: "Region") -> bool:
         """Semantic equality: both regions address exactly the same set."""
+        if self is other:
+            return True
+        if type(self) is type(other) and self.cache_key() == other.cache_key():
+            return True
         return self.difference(other).is_empty() and other.difference(self).is_empty()
 
     # -- operator sugar -------------------------------------------------------

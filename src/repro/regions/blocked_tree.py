@@ -16,7 +16,7 @@ blocked regions convert losslessly into flexible :class:`TreeRegion` form.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.regions.base import Region, RegionMismatchError
 from repro.regions.tree import TreeGeometry, TreeRegion
@@ -173,21 +173,25 @@ class BlockedTreeRegion(Region):
             raise RegionMismatchError("blocked tree geometry mismatch")
         return other
 
-    def union(self, other: Region) -> "BlockedTreeRegion":
+    def _union(self, other: Region) -> "BlockedTreeRegion":
         other = self._coerce(other)
         return BlockedTreeRegion(self._geometry, self._mask | other._mask)
 
-    def intersect(self, other: Region) -> "BlockedTreeRegion":
+    def _intersect(self, other: Region) -> "BlockedTreeRegion":
         other = self._coerce(other)
         return BlockedTreeRegion(self._geometry, self._mask & other._mask)
 
-    def difference(self, other: Region) -> "BlockedTreeRegion":
+    def _difference(self, other: Region) -> "BlockedTreeRegion":
         other = self._coerce(other)
         return BlockedTreeRegion(self._geometry, self._mask & ~other._mask)
 
     # -- cardinality and membership ------------------------------------------
 
-    def is_empty(self) -> bool:
+    def cache_key(self) -> Hashable:
+        geometry = self._geometry
+        return ("btree", geometry.depth, geometry.root_height, self._mask)
+
+    def _is_empty(self) -> bool:
         return self._mask == 0
 
     def size(self) -> int:

@@ -10,12 +10,15 @@ and implements the full region algebra:
 * ``intersect`` — pairwise box intersection (disjointness is preserved),
 * ``difference`` — per-axis slab splitting (a box minus a box yields at most
   ``2·dims`` disjoint boxes),
-* ``union`` — ``self + (other − self)``.
+* ``union`` — concatenate and re-canonicalize.
 
-The representation is not canonical (the same element set can be split into
-boxes in many ways), so ``==`` is defined semantically via double
-difference.  A greedy coalescing pass keeps fragmentation in check by fusing
-boxes that share a full face.
+The stored representation is *canonical*: :func:`_canonical_boxes` slices
+the element set along axis 0 at exactly the coordinates where its
+cross-section changes, merges maximal runs of equal cross-sections, and
+recurses over the remaining axes.  The resulting box list depends only on
+the addressed element set — never on how the inputs were split — so
+``==`` and ``hash`` are cheap *and* semantic, which is what lets the
+region kernel intern box regions and memoize their algebra.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 from repro.regions.base import Region, RegionMismatchError
 
@@ -165,79 +168,54 @@ class Box:
         return f"Box({list(self.lo)}..{list(self.hi)})"
 
 
-def _coalesce(boxes: list[Box]) -> list[Box]:
-    """Fuse boxes that share a full face along some axis.
+def _canonical_boxes(boxes: list[Box], dims: int) -> tuple[Box, ...]:
+    """Unique disjoint decomposition of the union of ``boxes``.
 
-    Axis-sweep implementation: for each axis, sort boxes by their
-    cross-section and fuse abutting runs — O(d · n log n) per pass instead
-    of the naive all-pairs search; passes repeat until stable (fusing along
-    one axis can expose fusions along another).
+    Slice along axis 0 at every coordinate where some input box starts or
+    ends; between two adjacent cuts the cross-section (a rank ``dims-1``
+    set) is constant, so it can be canonicalized recursively.  Adjacent
+    slabs with identical canonical cross-sections are merged into maximal
+    runs.  The output therefore depends only on the addressed element set:
+    the same set always canonicalizes to the same box tuple, regardless of
+    how (or with what overlaps) the inputs were split.
     """
-    boxes = [b for b in boxes if not b.is_empty()]
-    if len(boxes) < 2:
-        return boxes
-    changed = True
-    while changed:
-        changed = False
-        dims = boxes[0].dims
-        for axis in range(dims):
-            if len(boxes) < 2:
-                break
-
-            def cross_section(box: Box, axis: int = axis):
-                return (
-                    box.lo[:axis] + box.lo[axis + 1 :],
-                    box.hi[:axis] + box.hi[axis + 1 :],
-                )
-
-            boxes.sort(key=lambda b: (cross_section(b), b.lo[axis]))
-            out: list[Box] = []
-            current = boxes[0]
-            for nxt in boxes[1:]:
-                if (
-                    cross_section(current) == cross_section(nxt)
-                    and current.hi[axis] == nxt.lo[axis]
-                ):
-                    hi = list(current.hi)
-                    hi[axis] = nxt.hi[axis]
-                    current = Box(current.lo, tuple(hi))
-                    changed = True
-                else:
-                    out.append(current)
-                    current = nxt
-            out.append(current)
-            boxes = out
-    return boxes
-
-
-def _try_fuse(a: Box, b: Box) -> Box | None:
-    """Fuse two boxes into one iff they differ on exactly one axis and abut."""
-    diff_axis = -1
-    for axis in range(a.dims):
-        if a.lo[axis] != b.lo[axis] or a.hi[axis] != b.hi[axis]:
-            if diff_axis != -1:
-                return None
-            diff_axis = axis
-    if diff_axis == -1:
-        return a  # identical boxes (should not occur with disjoint sets)
-    if a.hi[diff_axis] == b.lo[diff_axis]:
-        lo, hi = list(a.lo), list(a.hi)
-        hi[diff_axis] = b.hi[diff_axis]
-        return Box(tuple(lo), tuple(hi))
-    if b.hi[diff_axis] == a.lo[diff_axis]:
-        lo, hi = list(b.lo), list(b.hi)
-        hi[diff_axis] = a.hi[diff_axis]
-        return Box(tuple(lo), tuple(hi))
-    return None
+    if not boxes:
+        return ()
+    if dims == 0:
+        # rank-0 boxes address the single empty-tuple point
+        return (boxes[0],)
+    cuts = sorted({b.lo[0] for b in boxes} | {b.hi[0] for b in boxes})
+    # (lo0, hi0, canonical cross-section) maximal slabs along axis 0
+    slabs: list[tuple[int, int, tuple[Box, ...]]] = []
+    for lo0, hi0 in zip(cuts, cuts[1:]):
+        # cuts include every box boundary, so each box either spans the
+        # whole slab or misses it entirely
+        cross = [
+            Box(b.lo[1:], b.hi[1:])
+            for b in boxes
+            if b.lo[0] <= lo0 and hi0 <= b.hi[0]
+        ]
+        if not cross:
+            continue
+        canonical = _canonical_boxes(cross, dims - 1)
+        if slabs and slabs[-1][1] == lo0 and slabs[-1][2] == canonical:
+            slabs[-1] = (slabs[-1][0], hi0, canonical)
+        else:
+            slabs.append((lo0, hi0, canonical))
+    out: list[Box] = []
+    for lo0, hi0, canonical in slabs:
+        for cross_box in canonical:
+            out.append(Box((lo0,) + cross_box.lo, (hi0,) + cross_box.hi))
+    return tuple(out)
 
 
 class BoxSetRegion(Region):
-    """Region represented as a set of pairwise-disjoint half-open boxes."""
+    """Region stored as the canonical set of pairwise-disjoint boxes."""
 
-    __slots__ = ("_boxes", "_dims")
+    __slots__ = ("_boxes", "_dims", "_ckey")
 
     def __init__(self, boxes: Iterable[Box] = (), dims: int | None = None) -> None:
-        disjoint: list[Box] = []
+        live: list[Box] = []
         for box in boxes:
             if box.is_empty():
                 continue
@@ -247,32 +225,14 @@ class BoxSetRegion(Region):
                 raise RegionMismatchError(
                     f"box of rank {box.dims} in a rank-{dims} region"
                 )
-            pending = [box]
-            for existing in disjoint:
-                if not existing.overlaps(box):
-                    continue
-                pending = [p for piece in pending for p in piece.subtract(existing)]
-                if not pending:
-                    break
-            disjoint.extend(pending)
-        self._boxes: tuple[Box, ...] = tuple(_coalesce(disjoint))
+            live.append(box)
+        self._boxes: tuple[Box, ...] = _canonical_boxes(live, dims or 0)
         self._dims = dims
+        self._ckey: Hashable = None
 
     @classmethod
     def empty(cls, dims: int | None = None) -> "BoxSetRegion":
         return cls((), dims=dims)
-
-    @classmethod
-    def _from_disjoint(
-        cls, boxes: list[Box], dims: int | None
-    ) -> "BoxSetRegion":
-        """Internal: build from boxes already known pairwise-disjoint."""
-        region = cls.__new__(cls)
-        region._boxes = tuple(_coalesce(boxes))
-        region._dims = dims if dims is not None else (
-            boxes[0].dims if boxes else None
-        )
-        return region
 
     @classmethod
     def single(cls, lo: Sequence[int], hi: Sequence[int]) -> "BoxSetRegion":
@@ -315,7 +275,7 @@ class BoxSetRegion(Region):
             f"cannot combine BoxSetRegion with {type(other).__name__}"
         )
 
-    def union(self, other: Region) -> "BoxSetRegion":
+    def _union(self, other: Region) -> "BoxSetRegion":
         other = self._coerce(other)
         if not other._boxes:
             return self
@@ -325,7 +285,7 @@ class BoxSetRegion(Region):
             self._boxes + other._boxes, dims=self._dims or other._dims
         )
 
-    def intersect(self, other: Region) -> "BoxSetRegion":
+    def _intersect(self, other: Region) -> "BoxSetRegion":
         other = self._coerce(other)
         if not self._boxes or not other._boxes:
             return BoxSetRegion.empty(self._dims or other._dims)
@@ -335,10 +295,9 @@ class BoxSetRegion(Region):
                 cut = a.intersect(b)
                 if not cut.is_empty():
                     cuts.append(cut)
-        # pairwise cuts of two disjoint families are disjoint already
-        return BoxSetRegion._from_disjoint(cuts, self._dims or other._dims)
+        return BoxSetRegion(cuts, dims=self._dims or other._dims)
 
-    def difference(self, other: Region) -> "BoxSetRegion":
+    def _difference(self, other: Region) -> "BoxSetRegion":
         other = self._coerce(other)
         if not self._boxes:
             return self
@@ -359,7 +318,12 @@ class BoxSetRegion(Region):
 
     # -- cardinality and membership ------------------------------------------
 
-    def is_empty(self) -> bool:
+    def cache_key(self) -> Hashable:
+        if self._ckey is None:
+            self._ckey = ("box", self._dims, self._boxes)
+        return self._ckey
+
+    def _is_empty(self) -> bool:
         return not self._boxes
 
     def size(self) -> int:
@@ -374,7 +338,7 @@ class BoxSetRegion(Region):
             return False
         return any(b.contains(element) for b in self._boxes)
 
-    def covers(self, other: Region) -> bool:
+    def _covers(self, other: Region) -> bool:
         """Containment with a fast path for box-in-box (the hot case)."""
         if isinstance(other, BoxSetRegion):
             remaining = []
@@ -386,8 +350,8 @@ class BoxSetRegion(Region):
                     remaining.append(box)
             if not remaining:
                 return True
-            other = BoxSetRegion._from_disjoint(remaining, other._dims)
-        return super().covers(other)
+            other = BoxSetRegion(remaining, dims=other._dims)
+        return other.difference(self).is_empty()
 
     def surface(self) -> int:
         """Sum of per-box boundary element counts (halo volume estimate)."""
@@ -398,9 +362,12 @@ class BoxSetRegion(Region):
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BoxSetRegion):
             return NotImplemented
-        return self.same_elements(other)
+        # the representation is canonical, so structural equality of the
+        # box tuples *is* semantic equality (dims of empties excluded)
+        return self._boxes == other._boxes
 
-    __hash__ = None  # type: ignore[assignment]  # non-canonical representation
+    def __hash__(self) -> int:
+        return hash(self._boxes)
 
     def __repr__(self) -> str:
         return f"BoxSetRegion({list(self._boxes)!r})"

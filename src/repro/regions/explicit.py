@@ -8,7 +8,7 @@ schemes) is property-tested against it.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.regions.base import Region, RegionMismatchError
 
@@ -16,10 +16,11 @@ from repro.regions.base import Region, RegionMismatchError
 class ExplicitSetRegion(Region):
     """A region backed by a plain frozen set of element addresses."""
 
-    __slots__ = ("_elements",)
+    __slots__ = ("_elements", "_ckey")
 
     def __init__(self, elements: Iterable[Any] = ()) -> None:
         self._elements = frozenset(elements)
+        self._ckey: Hashable = None
 
     @classmethod
     def empty(cls) -> "ExplicitSetRegion":
@@ -40,18 +41,23 @@ class ExplicitSetRegion(Region):
             f"cannot combine ExplicitSetRegion with {type(other).__name__}"
         )
 
-    def union(self, other: Region) -> "ExplicitSetRegion":
+    def _union(self, other: Region) -> "ExplicitSetRegion":
         return ExplicitSetRegion(self._elements | self._coerce(other))
 
-    def intersect(self, other: Region) -> "ExplicitSetRegion":
+    def _intersect(self, other: Region) -> "ExplicitSetRegion":
         return ExplicitSetRegion(self._elements & self._coerce(other))
 
-    def difference(self, other: Region) -> "ExplicitSetRegion":
+    def _difference(self, other: Region) -> "ExplicitSetRegion":
         return ExplicitSetRegion(self._elements - self._coerce(other))
 
     # -- cardinality and membership ------------------------------------------
 
-    def is_empty(self) -> bool:
+    def cache_key(self) -> Hashable:
+        if self._ckey is None:
+            self._ckey = ("explicit", self._elements)
+        return self._ckey
+
+    def _is_empty(self) -> bool:
         return not self._elements
 
     def size(self) -> int:

@@ -14,7 +14,7 @@ cheap and semantic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 from repro.regions.base import Region, RegionMismatchError
 
@@ -62,7 +62,7 @@ def _normalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
 class IntervalRegion(Region):
     """Canonical union of disjoint half-open integer intervals."""
 
-    __slots__ = ("_intervals",)
+    __slots__ = ("_intervals", "_ckey")
 
     def __init__(self, intervals: Iterable[Interval | tuple[int, int]] = ()) -> None:
         coerced = [
@@ -70,6 +70,7 @@ class IntervalRegion(Region):
             for iv in intervals
         ]
         self._intervals = _normalize(coerced)
+        self._ckey: Hashable = None
 
     @classmethod
     def empty(cls) -> "IntervalRegion":
@@ -103,11 +104,15 @@ class IntervalRegion(Region):
             f"cannot combine IntervalRegion with {type(other).__name__}"
         )
 
-    def union(self, other: Region) -> "IntervalRegion":
+    def _union(self, other: Region) -> "IntervalRegion":
         other = self._coerce(other)
+        if not other._intervals:
+            return self
+        if not self._intervals:
+            return other
         return IntervalRegion(self._intervals + other._intervals)
 
-    def intersect(self, other: Region) -> "IntervalRegion":
+    def _intersect(self, other: Region) -> "IntervalRegion":
         other = self._coerce(other)
         result: list[Interval] = []
         a, b = self._intervals, other._intervals
@@ -123,8 +128,10 @@ class IntervalRegion(Region):
                 j += 1
         return IntervalRegion(result)
 
-    def difference(self, other: Region) -> "IntervalRegion":
+    def _difference(self, other: Region) -> "IntervalRegion":
         other = self._coerce(other)
+        if not self._intervals or not other._intervals:
+            return self
         result: list[Interval] = []
         b = other._intervals
         j = 0
@@ -146,7 +153,12 @@ class IntervalRegion(Region):
 
     # -- cardinality and membership ------------------------------------------
 
-    def is_empty(self) -> bool:
+    def cache_key(self) -> Hashable:
+        if self._ckey is None:
+            self._ckey = ("interval", self._intervals)
+        return self._ckey
+
+    def _is_empty(self) -> bool:
         return not self._intervals
 
     def size(self) -> int:

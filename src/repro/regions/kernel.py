@@ -1,0 +1,219 @@
+"""Canonical region kernel: interning and memoized region algebra.
+
+Every hot path of the runtime — Algorithm 1's hierarchical index lookups,
+Algorithm 2's coverage checks, the region-granular lock tables, and the
+data item manager's migrate/replicate/invalidate machinery (paper §3.2) —
+is a chain of region ``union``/``difference``/``intersect``/``covers``
+calls, and the same operand pairs recur over and over (per timestep, per
+task template, per lookup).  This module provides the shared kernel those
+paths run on:
+
+* **Interning** — every region family defines a *canonical* normal form
+  (see :meth:`repro.regions.base.Region.cache_key`); the kernel maps each
+  canonical key to one representative instance, so semantically equal
+  regions collapse to the same object, equality degenerates to identity,
+  and hashing is O(1) after the first computation.
+
+* **Memoized algebra** — the binary closure operations (``union``,
+  ``intersect``, ``difference``) and the derived predicates (``covers``,
+  ``overlaps``) are cached in a bounded LRU keyed by the *identities* of
+  the interned operands.  Cache entries keep strong references to both
+  operands, so an ``id()`` can never be recycled while its entry is live.
+  ``is_empty`` is O(1) on every canonical form and is therefore delegated
+  (and merely counted), not cached.
+
+* **Counters** — per-op hit/miss counters plus the intern count are
+  exposed through :meth:`RegionKernel.stats` and surfaced as
+  ``region.*`` counters in ``runtime.metrics`` and the bench report.
+
+The kernel is deliberately family-agnostic: it never inspects region
+internals, it only calls the raw ``_union``/``_intersect``/``_difference``
+/``_covers`` implementations the families provide.  Type and geometry
+mismatch errors therefore surface exactly as they would without the
+kernel (and failed operations are never cached).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.regions.base import Region
+
+#: operations whose result does not depend on operand order; their cache
+#: keys are normalized (same-family operands only) to double the hit rate
+_SYMMETRIC_OPS = frozenset({"union", "intersect", "overlaps"})
+
+
+class RegionKernel:
+    """Interning table plus bounded memo-cache for the region algebra."""
+
+    __slots__ = (
+        "intern_capacity",
+        "op_capacity",
+        "_interned",
+        "_ops",
+        "_hits",
+        "_misses",
+        "_interned_count",
+        "_delegated",
+    )
+
+    def __init__(
+        self, intern_capacity: int = 1 << 16, op_capacity: int = 1 << 16
+    ) -> None:
+        if intern_capacity < 1 or op_capacity < 1:
+            raise ValueError("kernel capacities must be positive")
+        self.intern_capacity = intern_capacity
+        self.op_capacity = op_capacity
+        #: canonical key -> representative region instance (LRU-bounded)
+        self._interned: "OrderedDict[Hashable, Region]" = OrderedDict()
+        #: (op, id(a), id(b)) -> (a, b, result); operands are kept alive by
+        #: the entry itself so id-based keys can never alias
+        self._ops: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._hits: dict[str, int] = {}
+        self._misses: dict[str, int] = {}
+        self._delegated: dict[str, int] = {}
+        self._interned_count = 0
+
+    # -- interning ------------------------------------------------------------
+
+    def intern(self, region: "Region") -> "Region":
+        """Return the canonical representative for ``region``.
+
+        The first instance seen for a canonical key becomes the
+        representative; later semantically-equal instances resolve to it.
+        """
+        key = region.cache_key()
+        table = self._interned
+        rep = table.get(key)
+        if rep is not None:
+            table.move_to_end(key)
+            return rep
+        table[key] = region
+        self._interned_count += 1
+        if len(table) > self.intern_capacity:
+            table.popitem(last=False)
+        return region
+
+    # -- memoized binary algebra ------------------------------------------------
+
+    def _memoized(self, op: str, a: "Region", b: "Region") -> Any:
+        """Cache lookup / fill for one binary operation."""
+        a = self.intern(a)
+        b = self.intern(b)
+        if op in _SYMMETRIC_OPS and type(a) is type(b) and id(b) < id(a):
+            a, b = b, a
+        key = (op, id(a), id(b))
+        ops = self._ops
+        entry = ops.get(key)
+        if entry is not None and entry[0] is a and entry[1] is b:
+            self._hits[op] = self._hits.get(op, 0) + 1
+            ops.move_to_end(key)
+            return entry[2]
+        self._misses[op] = self._misses.get(op, 0) + 1
+        if op == "union":
+            result: Any = self.intern(a._union(b))
+        elif op == "intersect":
+            result = self.intern(a._intersect(b))
+        elif op == "difference":
+            result = self.intern(a._difference(b))
+        elif op == "covers":
+            result = a._covers(b)
+        elif op == "overlaps":
+            result = not self.intersect(a, b).is_empty()
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown region op {op!r}")
+        ops[key] = (a, b, result)
+        if len(ops) > self.op_capacity:
+            ops.popitem(last=False)
+        return result
+
+    def union(self, a: "Region", b: "Region") -> "Region":
+        if a is b:
+            return self.intern(a)
+        return self._memoized("union", a, b)
+
+    def intersect(self, a: "Region", b: "Region") -> "Region":
+        if a is b:
+            return self.intern(a)
+        return self._memoized("intersect", a, b)
+
+    def difference(self, a: "Region", b: "Region") -> "Region":
+        return self._memoized("difference", a, b)
+
+    # -- memoized predicates ---------------------------------------------------
+
+    def covers(self, a: "Region", b: "Region") -> bool:
+        if a is b:
+            return True
+        return self._memoized("covers", a, b)
+
+    def overlaps(self, a: "Region", b: "Region") -> bool:
+        if a is b:
+            return not a.is_empty()
+        return self._memoized("overlaps", a, b)
+
+    def is_empty(self, a: "Region") -> bool:
+        # O(1) on every canonical form; counted for completeness, not cached
+        self._delegated["is_empty"] = self._delegated.get("is_empty", 0) + 1
+        return a._is_empty()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(self._hits.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(self._misses.values())
+
+    @property
+    def interned(self) -> int:
+        """Total regions interned (monotone; unaffected by LRU eviction)."""
+        return self._interned_count
+
+    @property
+    def live_interned(self) -> int:
+        return len(self._interned)
+
+    def stats(self) -> dict[str, int]:
+        """Flat counter snapshot using the ``region.*`` metric names."""
+        out = {
+            "region.cache_hits": self.cache_hits,
+            "region.cache_misses": self.cache_misses,
+            "region.interned": self._interned_count,
+        }
+        for op in sorted(set(self._hits) | set(self._misses)):
+            out[f"region.{op}.hits"] = self._hits.get(op, 0)
+            out[f"region.{op}.misses"] = self._misses.get(op, 0)
+        for op, count in sorted(self._delegated.items()):
+            out[f"region.{op}.calls"] = count
+        return out
+
+    def reset(self) -> None:
+        """Drop both tables and all counters (test isolation)."""
+        self._interned.clear()
+        self._ops.clear()
+        self._hits.clear()
+        self._misses.clear()
+        self._delegated.clear()
+        self._interned_count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionKernel(interned={len(self._interned)}, "
+            f"ops={len(self._ops)}, hits={self.cache_hits}, "
+            f"misses={self.cache_misses})"
+        )
+
+
+#: process-wide kernel all region instances route their algebra through
+_KERNEL = RegionKernel()
+
+
+def get_kernel() -> RegionKernel:
+    """The process-wide region kernel singleton."""
+    return _KERNEL

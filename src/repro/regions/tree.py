@@ -21,7 +21,7 @@ from ``1`` to ``2**depth - 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
 
 from repro.regions.base import Region, RegionMismatchError
 
@@ -110,7 +110,7 @@ def _canonical_marks(
 class TreeRegion(Region):
     """Region over a complete binary tree in include/exclude sub-tree form."""
 
-    __slots__ = ("_geometry", "_marks", "_key")
+    __slots__ = ("_geometry", "_marks", "_key", "_ckey")
 
     def __init__(
         self, geometry: TreeGeometry, marks: Mapping[int, bool] | None = None
@@ -118,6 +118,7 @@ class TreeRegion(Region):
         self._geometry = geometry
         self._marks = _canonical_marks(geometry, marks or {})
         self._key = frozenset(self._marks.items())
+        self._ckey: Hashable = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -229,20 +230,26 @@ class TreeRegion(Region):
         result._geometry = geometry
         result._marks = marks
         result._key = frozenset(marks.items())
+        result._ckey = None
         return result
 
-    def union(self, other: Region) -> "TreeRegion":
+    def _union(self, other: Region) -> "TreeRegion":
         return self._combine(self._coerce(other), lambda a, b: a or b)
 
-    def intersect(self, other: Region) -> "TreeRegion":
+    def _intersect(self, other: Region) -> "TreeRegion":
         return self._combine(self._coerce(other), lambda a, b: a and b)
 
-    def difference(self, other: Region) -> "TreeRegion":
+    def _difference(self, other: Region) -> "TreeRegion":
         return self._combine(self._coerce(other), lambda a, b: a and not b)
 
     # -- cardinality and membership ------------------------------------------
 
-    def is_empty(self) -> bool:
+    def cache_key(self) -> Hashable:
+        if self._ckey is None:
+            self._ckey = ("tree", self._geometry.depth, self._key)
+        return self._ckey
+
+    def _is_empty(self) -> bool:
         return not self._marks
 
     def size(self) -> int:

@@ -180,7 +180,7 @@ class DataItemManager:
         data premises hold locally.
         """
         runtime = self.process.runtime
-        for item in sorted(task.accessed_items(), key=lambda i: i.name):
+        for item in task.accessed_items_ordered():
             write = task.write_region(item)
             if not write.is_empty():
                 yield from self._acquire_ownership(item, write)

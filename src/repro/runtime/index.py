@@ -106,6 +106,9 @@ class HierarchicalIndex:
             raise KeyError(f"item {item.name!r} not registered with the index")
         self._version[item] = self._version.get(item, 0) + 1
         old = self.covered(item, 1, process)
+        # store the canonical representative: every later lookup combining
+        # against this cover then hits the kernel's memo-cache by identity
+        new_region = new_region.interned()
         self._cover[(item, 1, process)] = new_region
         # pure growth is the common case (first-touch allocation, imports);
         # propagating only the delta keeps ancestor updates cheap

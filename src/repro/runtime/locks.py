@@ -82,7 +82,11 @@ class LockTable:
             return False
         for item, region in writes.items():
             if not region.is_empty():
-                self._holds.append(_Hold(owner, item, region, write=True))
+                # interned hold regions make the per-hold overlap checks
+                # above hit the kernel memo-cache by operand identity
+                self._holds.append(
+                    _Hold(owner, item, region.interned(), write=True)
+                )
         for item, region in reads.items():
             if not region.is_empty():
                 # read∩write overlap within one task is covered by its own

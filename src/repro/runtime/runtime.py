@@ -22,6 +22,7 @@ from typing import Any, Generator
 
 from repro.items.base import DataItem
 from repro.regions.base import Region
+from repro.regions.kernel import get_kernel
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.index import HierarchicalIndex
 from repro.runtime.policies import DataAwarePolicy, SchedulingPolicy
@@ -61,6 +62,9 @@ class AllScaleRuntime:
         self._items: list[DataItem] = []
         #: optional per-task lifecycle tracing (repro.runtime.tracing)
         self.tracer = None
+        # kernel counters are process-wide; remember the creation-time
+        # snapshot so this runtime's metrics report only its own activity
+        self._region_stats_base = get_kernel().stats()
 
     # -- structure ---------------------------------------------------------------
 
@@ -249,6 +253,7 @@ class AllScaleRuntime:
                     f"event queue drained but {treeture!r} never completed "
                     "(lost dependency or deadlock)"
                 )
+        self.sync_region_metrics()
         return treeture.value
 
     def wait_process(self, gen: Generator) -> Any:
@@ -260,7 +265,22 @@ class AllScaleRuntime:
                 raise RuntimeError(
                     "event queue drained but the driver never returned"
                 )
+        self.sync_region_metrics()
         return future.value
+
+    def sync_region_metrics(self) -> None:
+        """Publish region-kernel cache counters into :attr:`metrics`.
+
+        Counters (``region.cache_hits``, ``region.cache_misses``,
+        ``region.interned``, plus per-op breakdowns) are deltas since this
+        runtime was created, so concurrent runtimes in one process don't
+        pollute each other.  Called automatically when :meth:`wait` /
+        :meth:`wait_process` complete; idempotent.
+        """
+        stats = get_kernel().stats()
+        base = self._region_stats_base
+        for name, value in stats.items():
+            self.metrics.set(name, value - base.get(name, 0))
 
     @property
     def now(self) -> float:

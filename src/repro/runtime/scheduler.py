@@ -74,9 +74,15 @@ class Scheduler:
         target: int | None = None
         if task.accessed_items():
             lookup = yield from self._locate_requirements(task, origin)
-            target = self._covering_all(task, lookup)
+            # per-item owner shares are built once and reused by both
+            # coverage passes (Algorithm 2 lines 4 and 7)
+            shares = {
+                item: self._owner_shares(pieces)
+                for item, pieces in lookup.items()
+            }
+            target = self._covering_all(task, shares)
             if target is None:
-                target = self._covering_writes(task, lookup)
+                target = self._covering_writes(task, shares)
         if target is None:
             ctx = PlacementContext(runtime, origin, lookup)
             target = runtime.policy.pick_target(task, ctx)
@@ -124,44 +130,45 @@ class Scheduler:
             else index.lookup
         )
         lookup: dict[DataItem, list[tuple[Region, int]]] = {}
-        for item in sorted(task.accessed_items(), key=lambda i: i.name):
+        for item in task.accessed_items_ordered():
             region = task.accessed_region(item)
             mapping, _unresolved = yield from resolve(item, region, origin)
             lookup[item] = mapping
         return lookup
 
     @staticmethod
-    def _owned_share(
-        lookup: list[tuple[Region, int]], pid: int, item: DataItem
-    ) -> Region:
-        share = item.empty_region()
-        for part, owner in lookup:
-            if owner == pid:
-                share = share.union(part)
-        return share
+    def _owner_shares(
+        pieces: list[tuple[Region, int]]
+    ) -> dict[int, Region]:
+        """Union of looked-up parts per owning process, in one pass."""
+        shares: dict[int, Region] = {}
+        for part, owner in pieces:
+            current = shares.get(owner)
+            shares[owner] = part if current is None else current.union(part)
+        return shares
 
     def _covering_all(
-        self, task: TaskSpec, lookup: dict[DataItem, list[tuple[Region, int]]]
+        self, task: TaskSpec, shares: dict[DataItem, dict[int, Region]]
     ) -> int | None:
         """Algorithm 2 line 4: a process covering every requirement."""
-        return self._covering(task, lookup, writes_only=False)
+        return self._covering(task, shares, writes_only=False)
 
     def _covering_writes(
-        self, task: TaskSpec, lookup: dict[DataItem, list[tuple[Region, int]]]
+        self, task: TaskSpec, shares: dict[DataItem, dict[int, Region]]
     ) -> int | None:
         """Algorithm 2 line 7: a process covering all write requirements."""
         if not task.writes:
             return None
-        return self._covering(task, lookup, writes_only=True)
+        return self._covering(task, shares, writes_only=True)
 
     def _covering(
         self,
         task: TaskSpec,
-        lookup: dict[DataItem, list[tuple[Region, int]]],
+        shares: dict[DataItem, dict[int, Region]],
         writes_only: bool,
     ) -> int | None:
         candidates: set[int] | None = None
-        for item in task.accessed_items():
+        for item in task.accessed_items_ordered():
             needed = (
                 task.write_region(item)
                 if writes_only
@@ -169,14 +176,10 @@ class Scheduler:
             )
             if needed.is_empty():
                 continue
-            owners = {
-                pid
-                for _part, pid in lookup.get(item, ())
-            }
             covering = {
                 pid
-                for pid in owners
-                if self._owned_share(lookup[item], pid, item).covers(needed)
+                for pid, share in shares.get(item, {}).items()
+                if share.covers(needed)
             }
             if candidates is None:
                 candidates = covering

@@ -82,6 +82,15 @@ class TaskSpec:
     def accessed_items(self) -> frozenset[DataItem]:
         return frozenset(self.reads) | frozenset(self.writes)
 
+    def accessed_items_ordered(self) -> tuple[DataItem, ...]:
+        """Accessed items in the one canonical iteration order (by name).
+
+        Every runtime component that walks a task's requirements
+        (scheduler lookups, data staging, coverage checks) iterates in
+        this order so message and allocation sequences are deterministic.
+        """
+        return tuple(sorted(self.accessed_items(), key=lambda item: item.name))
+
     def read_region(self, item: DataItem) -> Region:
         return self.reads.get(item, item.empty_region())
 

@@ -177,11 +177,14 @@ class SimEngine:
             event = self._queue[0]
             if until is not None and event.time > until:
                 break
+            # bound check happens BEFORE the pop: a previous version popped
+            # first and broke without executing, silently losing one event
+            # per bounded run call
+            if max_events is not None and processed >= max_events:
+                break
             heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            if max_events is not None and processed >= max_events:
-                break
             self.now = event.time
             event.fn()
             processed += 1

@@ -43,6 +43,10 @@ class MetricRegistry:
     def incr(self, name: str, amount: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + amount
 
+    def set(self, name: str, value: float) -> None:
+        """Overwrite a counter with an externally computed value."""
+        self.counters[name] = value
+
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0.0)
 

@@ -59,6 +59,12 @@ def blocked_tree_regions(geometry: BlockedTreeGeometry = BLOCKED_GEOMETRY):
     )
 
 
+def explicit_regions(max_coord: int = 12, max_elements: int = 8):
+    return st.lists(
+        st.integers(0, max_coord), max_size=max_elements
+    ).map(ExplicitSetRegion)
+
+
 def as_explicit(region) -> ExplicitSetRegion:
     return ExplicitSetRegion(region.elements())
 

@@ -103,7 +103,10 @@ class TestBoxSetRegion:
     def test_difference_fast_path_disjoint(self):
         a = BoxSetRegion.single((0, 0), (2, 2))
         b = BoxSetRegion.single((10, 10), (12, 12))
-        assert (a - b) is a
+        # the no-overlap fast path returns the (interned) left operand
+        # unchanged rather than rebuilding it
+        assert (a - b) is a.interned()
+        assert (a - b) == a
 
     def test_covers_fast_and_slow_path(self):
         big = BoxSetRegion.single((0, 0), (10, 10))

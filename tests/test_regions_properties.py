@@ -8,10 +8,12 @@ reference, plus the algebraic laws the runtime relies on.
 
 from hypothesis import given, settings
 
+from repro.regions.kernel import get_kernel
 from tests.conftest import (
     as_explicit,
     blocked_tree_regions,
     box_set_regions,
+    explicit_regions,
     interval_regions,
     tree_regions,
 )
@@ -34,9 +36,45 @@ def _check_laws(a, b):
     assert a.intersect(b).same_elements(b.intersect(a))
     # difference/intersection complementarity: (a−b) ∪ (a∩b) = a
     assert a.difference(b).union(a.intersect(b)).same_elements(a)
+    # what was removed cannot still intersect the subtrahend
+    assert a.difference(b).intersect(b).is_empty()
     # covers/overlaps consistency
     assert a.covers(a.intersect(b))
+    assert a.covers(b) == b.difference(a).is_empty()
     assert a.overlaps(b) == (not a.intersect(b).is_empty())
+
+
+def _check_kernel_consistency(a, b):
+    """The memoized kernel path must agree with the raw family operations.
+
+    ``union``/``intersect``/``difference`` on the public API route through
+    :class:`RegionKernel` (interning + LRU memoization); ``_union`` etc. are
+    the uncached per-family implementations.  Both must produce the same
+    element set, and the memoized path must return the *identical* interned
+    object on a repeat call.
+    """
+    kernel = get_kernel()
+    for cached_op, raw_op in (
+        ("union", "_union"),
+        ("intersect", "_intersect"),
+        ("difference", "_difference"),
+    ):
+        cached = getattr(a, cached_op)(b)
+        raw = getattr(a, raw_op)(b)
+        assert cached.same_elements(raw)
+        # memoized + interned: the repeat call is the same object
+        assert getattr(a, cached_op)(b) is cached
+        assert kernel.intern(cached) is cached
+    assert a.covers(b) == b._difference(a)._is_empty()
+
+
+@given(explicit_regions(), explicit_regions())
+@settings(max_examples=120)
+def test_explicit_regions_closure(a, b):
+    _check_closure(a, b)
+    _check_laws(a, b)
+    _check_kernel_consistency(a, b)
+    assert (a == b) == a.same_elements(b)
 
 
 @given(interval_regions(), interval_regions())
@@ -44,6 +82,7 @@ def _check_laws(a, b):
 def test_interval_regions_closure(a, b):
     _check_closure(a, b)
     _check_laws(a, b)
+    _check_kernel_consistency(a, b)
 
 
 @given(box_set_regions(), box_set_regions())
@@ -51,6 +90,9 @@ def test_interval_regions_closure(a, b):
 def test_box_set_regions_closure(a, b):
     _check_closure(a, b)
     _check_laws(a, b)
+    _check_kernel_consistency(a, b)
+    # canonical box decomposition: semantic equality == structural equality
+    assert (a == b) == a.same_elements(b)
 
 
 @given(tree_regions(), tree_regions())
@@ -58,6 +100,7 @@ def test_box_set_regions_closure(a, b):
 def test_tree_regions_closure(a, b):
     _check_closure(a, b)
     _check_laws(a, b)
+    _check_kernel_consistency(a, b)
     # canonical representation: semantic equality == structural equality
     assert (a == b) == a.same_elements(b)
 
@@ -67,6 +110,7 @@ def test_tree_regions_closure(a, b):
 def test_blocked_tree_regions_closure(a, b):
     _check_closure(a, b)
     _check_laws(a, b)
+    _check_kernel_consistency(a, b)
     assert (a == b) == a.same_elements(b)
 
 
@@ -76,13 +120,52 @@ def test_blocked_to_flexible_conversion_is_lossless(a):
     assert set(a.to_tree_region().elements()) == set(a.elements())
 
 
+def _check_associativity(a, b, c):
+    assert a.union(b).union(c).same_elements(a.union(b.union(c)))
+    assert a.intersect(b).intersect(c).same_elements(
+        a.intersect(b.intersect(c))
+    )
+    # a − (b ∪ c) = (a − b) − c
+    assert a.difference(b.union(c)).same_elements(
+        a.difference(b).difference(c)
+    )
+
+
+@given(explicit_regions(), explicit_regions(), explicit_regions())
+@settings(max_examples=60)
+def test_explicit_region_associativity(a, b, c):
+    _check_associativity(a, b, c)
+
+
+@given(interval_regions(), interval_regions(), interval_regions())
+@settings(max_examples=60)
+def test_interval_region_associativity(a, b, c):
+    _check_associativity(a, b, c)
+
+
+@given(box_set_regions(), box_set_regions(), box_set_regions())
+@settings(max_examples=60, deadline=None)
+def test_box_region_associativity(a, b, c):
+    _check_associativity(a, b, c)
+    # canonical form makes associativity hold structurally, not just
+    # semantically — both groupings intern to the same object
+    assert a.union(b).union(c) is a.union(b.union(c)).interned()
+
+
 @given(tree_regions(), tree_regions(), tree_regions())
 @settings(max_examples=60, deadline=None)
 def test_tree_region_associativity(a, b, c):
+    _check_associativity(a, b, c)
     assert a.union(b).union(c) == a.union(b.union(c))
     assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
-    # a − (b ∪ c) = (a − b) − c
     assert a.difference(b.union(c)) == a.difference(b).difference(c)
+
+
+@given(blocked_tree_regions(), blocked_tree_regions(), blocked_tree_regions())
+@settings(max_examples=60)
+def test_blocked_tree_region_associativity(a, b, c):
+    _check_associativity(a, b, c)
+    assert a.union(b).union(c) == a.union(b.union(c))
 
 
 @given(box_set_regions(), box_set_regions())

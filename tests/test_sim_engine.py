@@ -55,6 +55,29 @@ class TestEventQueue:
         engine.run()
         assert fired == [1, 5]
 
+    def test_max_events_bound_does_not_drop_events(self):
+        # regression: the event at the bound used to be heappop-ed before
+        # the bound check fired, so it was neither executed nor re-queued
+        engine = SimEngine()
+        fired = []
+        for k in range(5):
+            engine.schedule(float(k + 1), lambda k=k: fired.append(k))
+        assert engine.run(max_events=2) == 2
+        assert fired == [0, 1]
+        # the bounded call must not have lost the third event
+        assert engine.pending_events == 3
+        assert engine.run() == 3
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_max_events_zero_leaves_queue_untouched(self):
+        engine = SimEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("x"))
+        assert engine.run(max_events=0) == 0
+        assert engine.pending_events == 1
+        assert engine.run() == 1
+        assert fired == ["x"]
+
     def test_events_scheduled_during_run(self):
         engine = SimEngine()
         fired = []
