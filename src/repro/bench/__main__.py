@@ -63,6 +63,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory to write CSV files into",
     )
+    parser.add_argument(
+        "--sentinel",
+        action="store_true",
+        help="re-run each panel with the runtime invariant sentinel "
+        "attached; report checking overhead and any violations "
+        "(non-zero exit if an invariant fails)",
+    )
     args = parser.parse_args(argv)
 
     for artifact in args.artifacts:
@@ -83,16 +90,63 @@ def main(argv: list[str] | None = None) -> int:
         print()
 
     ran_panels = False
+    total_violations = 0
     for name, build in PANELS.items():
         if name not in wanted:
             continue
         ran_panels = True
+        if args.sentinel:
+            # cold-start every timed segment (see the matching reset
+            # before the checked run below)
+            from repro.regions.kernel import get_kernel
+
+            get_kernel().reset()
         started = time.perf_counter()
         series = build(quick=args.quick, smoke=args.smoke)
         elapsed = time.perf_counter() - started
         print(render_series(series))
         print(f"(regenerated in {elapsed:.1f}s wall time)")
         print()
+        if args.sentinel:
+            import gc
+
+            from repro.regions.kernel import get_kernel
+            from repro.runtime import sentinel as sentinel_mod
+
+            # the baseline run above started with cold region-kernel
+            # caches; a second run in the same process inherits its
+            # interned regions and op-LRU entries plus their GC
+            # pressure, which alone inflates wall time by >10% on the
+            # stencil panel.  Reset to the baseline's cold-start state
+            # so the delta measures the sentinel, not cache history.
+            get_kernel().reset()
+            gc.collect()
+            sentinel_mod.enable_globally(
+                sentinel_mod.SentinelConfig.bench_profile()
+            )
+            try:
+                checked_started = time.perf_counter()
+                build(quick=args.quick, smoke=args.smoke)
+                checked_elapsed = time.perf_counter() - checked_started
+            finally:
+                sentinels = sentinel_mod.drain_created()
+                sentinel_mod.reset_global()
+            checks = sum(s.checks for s in sentinels)
+            scans = sum(s.scans for s in sentinels)
+            violations = sum(len(s.violations) for s in sentinels)
+            total_violations += violations
+            overhead = (
+                (checked_elapsed / elapsed - 1.0) * 100.0 if elapsed else 0.0
+            )
+            print(
+                f"(sentinel: {checked_elapsed:.1f}s wall time, "
+                f"{overhead:+.1f}% overhead, {checks} checks, "
+                f"{scans} scans, {violations} violation(s))"
+            )
+            for sentinel in sentinels:
+                for line in sentinel.report_lines()[1:]:
+                    print(line)
+            print()
         if args.out is not None:
             path = args.out / f"fig7_{name}.csv"
             path.write_text(series_to_csv(series))
@@ -108,6 +162,9 @@ def main(argv: list[str] | None = None) -> int:
             path.write_text(region_cache_csv(stats))
             print(f"wrote {path}")
             print()
+    if total_violations:
+        print(f"sentinel: {total_violations} invariant violation(s) detected")
+        return 1
     return 0
 
 

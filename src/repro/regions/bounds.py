@@ -1,0 +1,63 @@
+"""Cheap bounding-corner summaries for conservative overlap rejection.
+
+Pairwise region sweeps (the sentinel's race checks, the runtime's
+write-intent reservation) mostly compare regions that are nowhere near
+each other.  Routing every pair through the memoized region algebra
+churns the op cache — each unique pair is a miss — so hot paths first
+compare *bounding corners*: a pair whose axis-aligned bounds are
+disjoint provably cannot overlap and is rejected with a few tuple
+comparisons.  The test is conservative: it only ever rejects pairs the
+full algebra would also reject, never pairs that might overlap.
+
+Summaries are tri-state:
+
+* ``(lo, hi)`` corner tuples — half-open on every axis, like ``Box``;
+* ``None`` — the region is empty (disjoint from everything);
+* ``NO_BOUNDS`` — the scheme exposes no cheap corners (tree/bitmask/
+  set-based regions), so no rejection is possible and the caller must
+  fall through to the exact ``overlaps`` check.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: marker for "region scheme exposes no cheap bounds" (tree/bitmask/set)
+NO_BOUNDS: Any = object()
+
+
+def corner_bounds(region) -> Any:
+    """Bounding-corner summary of ``region`` (see module docstring).
+
+    Box-set regions report their bounding box; interval regions report
+    their hull as a 1-D corner pair; anything else yields ``NO_BOUNDS``.
+    """
+    box_fn = getattr(region, "bounding_box", None)
+    if box_fn is not None:
+        box = box_fn()
+        return None if box is None else (box.lo, box.hi)
+    iv_fn = getattr(region, "bounds", None)
+    if iv_fn is not None:
+        iv = iv_fn()
+        return None if iv is None else ((iv.lo,), (iv.hi,))
+    return NO_BOUNDS
+
+
+def bounds_disjoint(a, b) -> bool:
+    """True when two bound summaries *provably* do not overlap.
+
+    ``None`` means an empty region (disjoint from everything);
+    ``NO_BOUNDS`` means unknown, so no rejection is possible.
+    """
+    if a is None or b is None:
+        return True
+    if a is NO_BOUNDS or b is NO_BOUNDS:
+        return False
+    alo, ahi = a
+    blo, bhi = b
+    if len(alo) != len(blo):
+        return False
+    for k in range(len(alo)):
+        if alo[k] >= bhi[k] or blo[k] >= ahi[k]:
+            return True
+    return False

@@ -115,9 +115,14 @@ class DataItemManager:
         fragment = self.fragment(item)
         grown = fragment.region.union(region)
         added_bytes = item.region_bytes(region.difference(fragment.region))
-        fragment.resize(grown)
+        # charge the memory budget *before* touching the fragment: a
+        # MemoryExhaustedError must not leave present-but-unowned bytes
         self.process.node.allocate(added_bytes)
+        fragment.resize(grown)
         self.owned[item] = self.owned_region(item).union(region)
+        # a local replica of an unowned region (e.g. orphaned by a node
+        # failure) may be claimed here: it is now owned, not replicated
+        runtime.unregister_replica(item, self.pid, region)
         runtime.index.update_ownership(item, self.pid, self.owned[item])
         runtime.metrics.incr("dm.allocations")
         runtime.metrics.incr("dm.allocated_bytes", added_bytes)
@@ -132,16 +137,20 @@ class DataItemManager:
         self.process.node.free(item.region_bytes(part))
         self.owned[item] = self.owned_region(item).difference(part)
         runtime.index.update_ownership(item, self.pid, self.owned[item])
+        if runtime.sentinel is not None:
+            runtime.sentinel.on_payload_export(self.pid, item, payload)
         runtime.metrics.incr("dm.exports")
         return payload
 
     def import_owned(self, item: DataItem, payload: FragmentPayload) -> None:
         """Splice migrated-in data; ownership follows the data."""
         runtime = self.process.runtime
+        if runtime.sentinel is not None:
+            runtime.sentinel.on_payload_import(self.pid, item, payload)
         fragment = self.fragment(item)
         added = payload.region.difference(fragment.region)
-        fragment.insert(payload)
         self.process.node.allocate(item.region_bytes(added))
+        fragment.insert(payload)
         self.owned[item] = self.owned_region(item).union(payload.region)
         # data this process previously held as a replica is now owned here
         runtime.unregister_replica(item, self.pid, payload.region)
@@ -151,11 +160,17 @@ class DataItemManager:
     def insert_replica(self, item: DataItem, payload: FragmentPayload) -> None:
         """Splice replicated (read-only) data; ownership unchanged."""
         runtime = self.process.runtime
+        if runtime.sentinel is not None:
+            runtime.sentinel.on_payload_import(self.pid, item, payload)
         fragment = self.fragment(item)
         added = payload.region.difference(fragment.region)
-        fragment.insert(payload)
         self.process.node.allocate(item.region_bytes(added))
-        runtime.register_replica(item, self.pid, payload.region)
+        fragment.insert(payload)
+        # anything that became locally *owned* while the payload was in
+        # transit (a concurrent write staging here) is not a replica
+        replicated = payload.region.difference(self.owned_region(item))
+        if not replicated.is_empty():
+            runtime.register_replica(item, self.pid, replicated)
         runtime.metrics.incr("dm.replicas_fetched")
 
     def drop_replica(self, item: DataItem, region: Region) -> None:
@@ -171,6 +186,35 @@ class DataItemManager:
 
     # -- requirement satisfaction (simulation processes) --------------------------------
 
+    def requirements_hold(self, task: TaskSpec) -> bool:
+        """Do the *start* rule's data premises hold here, right now?
+
+        Synchronous re-verification run *after* lock acquisition: between
+        :meth:`ensure_for_task` completing and the locks being granted,
+        other simulation processes run — a remote task may re-replicate
+        part of the write set, or a concurrent migration may steal
+        ownership staged here.  Both races are invisible to the (already
+        satisfied) staging pass; catching them under lock and restaging
+        closes them.  Checks only — no yields, no side effects — so a
+        failed verification holds the just-acquired locks for zero
+        simulated time.
+        """
+        runtime = self.process.runtime
+        for item in task.accessed_items_ordered():
+            write = task.write_region(item)
+            if not write.is_empty():
+                if not self.owned_region(item).covers(write):
+                    return False
+                for pid, region in runtime.replica_holders(item).items():
+                    if pid != self.pid and region.overlaps(write):
+                        return False
+            accessed = task.accessed_region(item)
+            if not self.present_region(item).covers(accessed):
+                return False
+            if self.in_flight_region(item).overlaps(accessed):
+                return False
+        return True
+
     def ensure_for_task(self, task: TaskSpec) -> Generator:
         """Bring all data ``task`` requires into this address space.
 
@@ -183,23 +227,32 @@ class DataItemManager:
         for item in task.accessed_items_ordered():
             write = task.write_region(item)
             if not write.is_empty():
-                yield from self._acquire_ownership(item, write)
+                yield from self._acquire_ownership(item, write, task=task)
                 # exclusive writes: no replicas of the write set elsewhere
                 yield from runtime.invalidate_replicas(item, write, self.pid)
             read = task.read_region(item)
             missing = read.difference(self.present_region(item))
             if not missing.is_empty():
-                yield from self._fetch_replicas(item, missing)
+                yield from self._fetch_replicas(item, missing, task=task)
             # data whose ownership arrived but whose bytes are still on
             # the wire is not usable yet
             accessed = task.accessed_region(item)
             while self.in_flight_region(item).overlaps(accessed):
                 yield self._in_flight_change()
 
-    def _acquire_ownership(self, item: DataItem, region: Region) -> Generator:
+    def _acquire_ownership(
+        self, item: DataItem, region: Region, task: object = None
+    ) -> Generator:
         runtime = self.process.runtime
         cfg = runtime.config
         for _attempt in range(8):
+            missing = region.difference(self.owned_region(item))
+            if missing.is_empty():
+                return
+            # defer to older staging writers instead of stealing their
+            # freshly migrated ownership back (livelock otherwise)
+            while runtime.write_intent_blocked(item, missing, task):
+                yield runtime.intent_change()
             missing = region.difference(self.owned_region(item))
             if missing.is_empty():
                 return
@@ -276,17 +329,30 @@ class DataItemManager:
 
     def _store_payload(self, item: DataItem, payload: FragmentPayload) -> None:
         """Splice arrived bytes into the fragment (ownership already here)."""
+        runtime = self.process.runtime
+        if runtime.sentinel is not None:
+            runtime.sentinel.on_payload_import(self.pid, item, payload)
         fragment = self.fragment(item)
         added = payload.region.difference(fragment.region)
-        fragment.insert(payload)
         self.process.node.allocate(item.region_bytes(added))
-        self.process.runtime.metrics.incr("dm.imports")
+        fragment.insert(payload)
+        runtime.metrics.incr("dm.imports")
 
-    def _fetch_replicas(self, item: DataItem, missing: Region) -> Generator:
+    def _fetch_replicas(
+        self, item: DataItem, missing: Region, task: object = None
+    ) -> Generator:
         runtime = self.process.runtime
         cfg = runtime.config
         network = runtime.network
         for _attempt in range(5):
+            missing = missing.difference(self.present_region(item))
+            if missing.is_empty():
+                return
+            # a staging writer invalidates replicas of its write set as
+            # fast as we can re-fetch them; wait out its reservation
+            # rather than burning retry attempts against it
+            while runtime.write_intent_blocked(item, missing, task):
+                yield runtime.intent_change()
             missing = missing.difference(self.present_region(item))
             if missing.is_empty():
                 return

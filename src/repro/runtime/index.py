@@ -65,6 +65,9 @@ class HierarchicalIndex:
         self._lookup_cache: dict[tuple[int, DataItem], dict] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        #: optional invariant sentinel, notified after each applied update
+        #: (set by RuntimeSentinel.attach)
+        self.sentinel = None
 
     # -- hierarchy geometry ---------------------------------------------------------
 
@@ -104,11 +107,17 @@ class HierarchicalIndex:
         """
         if item not in self._items:
             raise KeyError(f"item {item.name!r} not registered with the index")
-        self._version[item] = self._version.get(item, 0) + 1
         old = self.covered(item, 1, process)
         # store the canonical representative: every later lookup combining
         # against this cover then hits the kernel's memo-cache by identity
         new_region = new_region.interned()
+        if new_region is old or new_region.same_elements(old):
+            # no-op update: the stored leaf already holds exactly this
+            # region, so ancestors cannot change either.  Skip the version
+            # bump (which would wipe every origin's locality cache) and the
+            # ancestor maintenance messages.
+            return
+        self._version[item] = self._version.get(item, 0) + 1
         self._cover[(item, 1, process)] = new_region
         # pure growth is the common case (first-touch allocation, imports);
         # propagating only the delta keeps ancestor updates cheap
@@ -131,6 +140,8 @@ class HierarchicalIndex:
             if host != process:
                 self.update_messages += 1
                 self.network.send(process, host, self.control_message_bytes)
+        if self.sentinel is not None:
+            self.sentinel.on_ownership_update(item, process, new_region)
 
     # -- Algorithm 1: region location resolution ------------------------------------------
 
@@ -177,6 +188,7 @@ class HierarchicalIndex:
             prev_root = root
         # the collected mapping travels back to the origin
         if caller != origin:
+            self.lookup_hops += 1
             yield self.network.send(caller, origin, self.control_message_bytes)
         return mapping, remaining
 
@@ -217,6 +229,7 @@ class HierarchicalIndex:
                 item, overlap, level - 1, child_root, exclude_child=None
             )
             if child_host != host:
+                self.lookup_hops += 1
                 yield self.network.send(
                     child_host, host, self.control_message_bytes
                 )

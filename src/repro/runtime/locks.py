@@ -59,14 +59,36 @@ class LockTable:
         self,
         reads: dict[DataItem, Region],
         writes: dict[DataItem, Region],
+        owner: object = None,
     ) -> bool:
-        """Would acquiring these locks conflict with current holders?"""
+        """Would acquiring these locks conflict with *other* holders?
+
+        ``owner``'s own existing holds never count as conflicts: a
+        re-entrant acquisition by the owner of the overlapping hold must
+        not self-deadlock.  Pass ``owner=None`` (the default) to treat
+        every hold as foreign.
+        """
         for item, region in writes.items():
-            if not region.is_empty() and self.any_locked(item, region):
-                return True
+            if region.is_empty():
+                continue
+            for hold in self._holds:
+                if (
+                    hold.owner is not owner
+                    and hold.item is item
+                    and hold.region.overlaps(region)
+                ):
+                    return True
         for item, region in reads.items():
-            if not region.is_empty() and self.write_locked(item, region):
-                return True
+            if region.is_empty():
+                continue
+            for hold in self._holds:
+                if (
+                    hold.owner is not owner
+                    and hold.write
+                    and hold.item is item
+                    and hold.region.overlaps(region)
+                ):
+                    return True
         return False
 
     # -- acquisition --------------------------------------------------------------
@@ -78,7 +100,7 @@ class LockTable:
         writes: dict[DataItem, Region],
     ) -> bool:
         """Atomically acquire all locks, or none."""
-        if self.conflicts(reads, writes):
+        if self.conflicts(reads, writes, owner=owner):
             return False
         for item, region in writes.items():
             if not region.is_empty():

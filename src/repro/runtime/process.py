@@ -156,19 +156,58 @@ class RuntimeProcess:
     ) -> Generator:
         cfg = self.runtime.config
         tracer = self.runtime.tracer
+        sentinel = self.runtime.sentinel
         now = self.runtime.engine.now
         if tracer is not None:
             tracer.on_start(treeture, now)
-        # stage data: after this, the start rule's data premises hold here
-        yield from self.data_manager.ensure_for_task(task)
-        if tracer is not None:
-            tracer.on_data_ready(treeture, self.runtime.engine.now)
-        # take region locks; queue behind conflicting holders
-        while not self.locks.try_acquire(task, task.reads, task.writes):
-            self.runtime.metrics.incr("proc.lock_waits")
-            yield self.locks.wait_for_change()
+        if sentinel is not None:
+            sentinel.on_task_start(task, self.pid)
+        # stage data and take region locks.  Between staging completing and
+        # the locks being granted other processes run, so the premises can
+        # be invalidated again (a remote read re-replicates the write set;
+        # a migration steals staged ownership) — hence stage, lock, then
+        # *re-verify under lock* and restage on failure.  The verification
+        # is synchronous: a failed round holds the locks for zero simulated
+        # time, so no deadlock can form through it.  A write-intent
+        # reservation covers the whole staging window: competing stagers
+        # defer to older intents, which turns the restage/re-fetch
+        # ping-pong between concurrent accessors of the same region from
+        # a livelock into a bounded wait.
+        intents = {
+            item: task.write_region(item)
+            for item in task.accessed_items_ordered()
+            if not task.write_region(item).is_empty()
+        }
+        if intents:
+            self.runtime.register_write_intent(task, self.pid, intents)
+        try:
+            for _attempt in range(16):
+                yield from self.data_manager.ensure_for_task(task)
+                if tracer is not None:
+                    tracer.on_data_ready(treeture, self.runtime.engine.now)
+                # take region locks; queue behind conflicting holders
+                while not self.locks.try_acquire(task, task.reads, task.writes):
+                    self.runtime.metrics.incr("proc.lock_waits")
+                    yield self.locks.wait_for_change()
+                if self.data_manager.requirements_hold(task):
+                    break
+                self.locks.release(task)
+                self.runtime.metrics.incr("proc.restages")
+            else:
+                raise RuntimeError(
+                    f"task {task.name!r} at process {self.pid} could not "
+                    "hold its data requirements across lock acquisition "
+                    "after repeated restaging (requirement thrashing?)"
+                )
+        finally:
+            # the verified locks take over protection from here
+            if intents:
+                self.runtime.clear_write_intent(task)
         if tracer is not None:
             tracer.on_locks_held(treeture, self.runtime.engine.now)
+        if sentinel is not None:
+            sentinel.on_locks_acquired(self.pid, task)
+            sentinel.on_task_executing(task, self.pid)
         try:
             devices = self.runtime.cluster.accelerators[self.pid]
             if offload and devices and task.gpu_flops is not None:
@@ -211,6 +250,8 @@ class RuntimeProcess:
         self.runtime.metrics.incr("proc.leaves")
         if tracer is not None:
             tracer.on_finish(treeture, self.runtime.engine.now)
+        if sentinel is not None:
+            sentinel.on_task_finish(task, self.pid)
         treeture.complete(value)
 
     # -- work stealing -----------------------------------------------------------------

@@ -88,6 +88,9 @@ class ResilienceManager:
                 entries.append((process.pid, payload))
             if entries:
                 snapshot.payloads[item.name] = entries
+        if runtime.sentinel is not None:
+            # record coverage + byte totals the restore must reproduce
+            runtime.sentinel.on_checkpoint(snapshot)
         runtime.metrics.incr("resilience.checkpoints")
         return snapshot
 
@@ -138,6 +141,8 @@ class ResilienceManager:
                 yield target.node.execute(cfg.fragment_op_overhead)
                 target.data_manager.import_owned(item, sub)
             runtime.metrics.incr("resilience.recovered_items")
+        if runtime.sentinel is not None:
+            runtime.sentinel.on_recovery(snapshot)
         runtime.metrics.incr("resilience.recoveries")
 
     # -- restore ---------------------------------------------------------------------
@@ -169,4 +174,6 @@ class ResilienceManager:
                 )
                 yield process.node.execute(cfg.fragment_op_overhead)
                 process.data_manager.import_owned(item, payload)
+        if runtime.sentinel is not None:
+            runtime.sentinel.on_restore(snapshot)
         runtime.metrics.incr("resilience.restores")

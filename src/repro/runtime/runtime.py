@@ -22,12 +22,14 @@ from typing import Any, Generator
 
 from repro.items.base import DataItem
 from repro.regions.base import Region
+from repro.regions.bounds import bounds_disjoint, corner_bounds
 from repro.regions.kernel import get_kernel
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.index import HierarchicalIndex
 from repro.runtime.policies import DataAwarePolicy, SchedulingPolicy
 from repro.runtime.process import RuntimeProcess
 from repro.runtime.scheduler import Scheduler
+from repro.runtime.sentinel import attach_from_global
 from repro.runtime.tasks import TaskSpec, Treeture
 from repro.sim.cluster import Cluster
 
@@ -60,11 +62,23 @@ class AllScaleRuntime:
         self._home_maps: dict[DataItem, list[Region] | None] = {}
         self._replicas: dict[DataItem, dict[int, Region]] = {}
         self._items: list[DataItem] = []
+        #: staging write intents: id(task) -> (seq, pid, {item: (write
+        #: region, corner bounds)}, task ref — pins the id).  Registered
+        #: while a leaf stages its write set, cleared once its locks are
+        #: verified; competing stagers defer to *older* intents.
+        self._write_intents: dict[int, tuple[int, int, dict, object]] = {}
+        self._intent_seq = 0
+        self._intent_waiters: list = []
         #: optional per-task lifecycle tracing (repro.runtime.tracing)
         self.tracer = None
+        #: optional invariant sentinel (repro.runtime.sentinel)
+        self.sentinel = None
         # kernel counters are process-wide; remember the creation-time
         # snapshot so this runtime's metrics report only its own activity
         self._region_stats_base = get_kernel().stats()
+        # honor process-wide sentinel enablement (REPRO_SENTINEL=1,
+        # bench --sentinel, the tier-1 sentinel fixture)
+        attach_from_global(self)
 
     # -- structure ---------------------------------------------------------------
 
@@ -104,6 +118,8 @@ class AllScaleRuntime:
             homes = None
         self._home_maps[item] = homes
         self._items.append(item)
+        if self.sentinel is not None:
+            self.sentinel.on_item_registered(item)
         if placement is not None:
             if len(placement) != self.num_processes:
                 raise ValueError(
@@ -120,6 +136,9 @@ class AllScaleRuntime:
 
     def destroy_item(self, item: DataItem) -> None:
         """Drop an item's fragments and bookkeeping (the *destroy* action)."""
+        if self.sentinel is not None:
+            # sanctioned coverage drop: stop tracking before the teardown
+            self.sentinel.on_item_destroyed(item)
         for process in self.processes:
             manager = process.data_manager
             fragment = manager.fragments.pop(item, None)
@@ -153,12 +172,21 @@ class AllScaleRuntime:
             )
         process.failed = True
         manager = process.data_manager
-        for item in list(manager.fragments):
+        # per item: drop the local state *before* updating the index, so
+        # data-manager and index leaf never disagree at an observation point
+        victims = sorted(
+            set(manager.fragments) | set(manager.owned),
+            key=lambda item: item.name,
+        )
+        for item in victims:
             self.unregister_replica(item, pid, manager.replica_region(item))
+            manager.fragments.pop(item, None)
+            manager.owned.pop(item, None)
             self.index.update_ownership(item, pid, item.empty_region())
-        manager.fragments.clear()
-        manager.owned.clear()
         process.node.memory_used = 0.0
+        if self.sentinel is not None:
+            # sanctioned coverage drop: re-baseline global coverage
+            self.sentinel.on_process_failed(pid)
         self.metrics.incr("runtime.node_failures")
 
     def alive_processes(self) -> list[int]:
@@ -196,6 +224,79 @@ class AllScaleRuntime:
 
     def replica_holders(self, item: DataItem) -> dict[int, Region]:
         return dict(self._replicas.get(item, {}))
+
+    # -- write-intent reservations ----------------------------------------------------
+    #
+    # Staging is lock-free, so a writer repeatedly invalidating the replicas
+    # a reader keeps re-fetching (or two writers stealing each other's
+    # staged ownership) can ping-pong indefinitely: a livelock the
+    # randomized-DAG sweep reproduced.  Intents break the symmetry with a
+    # total order — a stager only ever waits for strictly *older* intents,
+    # so the oldest one always makes progress and the wait graph is acyclic.
+
+    def register_write_intent(
+        self, owner: object, pid: int, regions: dict
+    ) -> None:
+        """Reserve ``regions`` ({item: write region}) while ``owner`` stages."""
+        self._intent_seq += 1
+        # bounding corners are precomputed so the blocked-check can
+        # reject non-overlapping intents without touching the region
+        # algebra (every stager probes every older intent — the exact
+        # overlap test on unique pairs would churn the op cache)
+        self._write_intents[id(owner)] = (
+            self._intent_seq,
+            pid,
+            {
+                item: (region, corner_bounds(region))
+                for item, region in regions.items()
+            },
+            owner,
+        )
+        self._signal_intent_change()
+
+    def clear_write_intent(self, owner: object) -> None:
+        if self._write_intents.pop(id(owner), None) is not None:
+            self._signal_intent_change()
+
+    def write_intent_blocked(
+        self, item: DataItem, region: Region, owner: object
+    ) -> bool:
+        """True while an intent ``owner`` must defer to overlaps ``region``.
+
+        Pure readers (no intent of their own) defer to every staging
+        writer; intent holders defer only to older intents.
+        """
+        if not self._write_intents:
+            return False
+        own = self._write_intents.get(id(owner)) if owner is not None else None
+        own_seq = own[0] if own is not None else None
+        bounds = corner_bounds(region)
+        for key, (seq, _pid, regions, _ref) in self._write_intents.items():
+            if owner is not None and key == id(owner):
+                continue
+            if own_seq is not None and seq > own_seq:
+                continue
+            entry = regions.get(item)
+            if entry is None:
+                continue
+            other_region, other_bounds = entry
+            if bounds_disjoint(bounds, other_bounds):
+                continue
+            if other_region.overlaps(region):
+                return True
+        return False
+
+    def intent_change(self):
+        """Future completing the next time any intent is set or cleared."""
+        future = self.engine.future()
+        self._intent_waiters.append(future)
+        return future
+
+    def _signal_intent_change(self) -> None:
+        if self._intent_waiters:
+            waiters, self._intent_waiters = self._intent_waiters, []
+            for waiter in waiters:
+                waiter.complete(None)
 
     def invalidate_replicas(
         self, item: DataItem, region: Region, keeper: int
@@ -253,6 +354,8 @@ class AllScaleRuntime:
                     f"event queue drained but {treeture!r} never completed "
                     "(lost dependency or deadlock)"
                 )
+        if self.sentinel is not None:
+            self.sentinel.verify_all()
         self.sync_region_metrics()
         return treeture.value
 
@@ -265,6 +368,8 @@ class AllScaleRuntime:
                 raise RuntimeError(
                     "event queue drained but the driver never returned"
                 )
+        if self.sentinel is not None:
+            self.sentinel.verify_all()
         self.sync_region_metrics()
         return future.value
 

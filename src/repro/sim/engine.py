@@ -90,6 +90,18 @@ class SimEngine:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        # post-event observers (e.g. the runtime invariant sentinel);
+        # called with no arguments after each executed event
+        self._listeners: list[Callable[[], None]] = []
+
+    def add_listener(self, fn: Callable[[], None]) -> None:
+        """Register an observer invoked after every executed event."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[], None]) -> None:
+        """Unregister an observer added with :meth:`add_listener`."""
+        if fn in self._listeners:
+            self._listeners.remove(fn)
 
     # -- scheduling ---------------------------------------------------------------
 
@@ -189,6 +201,9 @@ class SimEngine:
             event.fn()
             processed += 1
             self._events_processed += 1
+            if self._listeners:
+                for listener in tuple(self._listeners):
+                    listener()
         if until is not None and (not self._queue or self._queue[0].time > until):
             self.now = max(self.now, until)
         return processed

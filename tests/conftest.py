@@ -72,3 +72,40 @@ def as_explicit(region) -> ExplicitSetRegion:
 @pytest.fixture
 def rng():
     return random.Random(1234)
+
+
+# -- runtime invariant sentinel (REPRO_SENTINEL=1) ---------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _runtime_sentinel(request):
+    """With ``REPRO_SENTINEL=1``, validate every runtime the test creates.
+
+    A strict :class:`~repro.runtime.sentinel.RuntimeSentinel` auto-attaches
+    to each :class:`AllScaleRuntime`, checking the §2.5 invariants online;
+    teardown runs one final full scan and fails the test on any violation.
+    Tests marked ``sentinel_injection`` corrupt runtime state on purpose
+    and manage their own (non-strict) sentinels, so auto-attachment is
+    suppressed for them.
+    """
+    from repro.runtime import sentinel as sentinel_mod
+
+    if sentinel_mod.global_config() is None:
+        yield
+        return
+    if request.node.get_closest_marker("sentinel_injection"):
+        sentinel_mod.disable_globally()
+        try:
+            yield
+        finally:
+            sentinel_mod.reset_global()
+        return
+    sentinel_mod.enable_globally(sentinel_mod.SentinelConfig(strict=True))
+    try:
+        yield
+    finally:
+        created = sentinel_mod.drain_created()
+        sentinel_mod.reset_global()
+    for sentinel in created:
+        sentinel.verify_all()
+        assert not sentinel.violations, "\n".join(sentinel.report_lines())

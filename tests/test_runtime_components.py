@@ -59,7 +59,21 @@ class TestLockTable:
         assert not waiter.done
         self.table.release("t1")
         assert waiter.done
-        assert self.table.try_acquire("t2", {}, {self.grid: self.a})
+
+    def test_reacquire_by_same_owner_is_not_a_conflict(self):
+        # regression: an owner's own holds used to count as conflicting,
+        # so re-acquiring (e.g. after a requirement restage kept a hold
+        # alive) would self-deadlock
+        assert self.table.try_acquire("t1", {}, {self.grid: self.a})
+        assert not self.table.conflicts({}, {self.grid: self.a}, owner="t1")
+        assert self.table.conflicts({}, {self.grid: self.a}, owner="t2")
+        assert self.table.try_acquire("t1", {self.grid: self.mid}, {})
+        assert self.table.active_holds == 2
+
+    def test_reacquire_still_blocked_by_foreign_overlap(self):
+        assert self.table.try_acquire("t1", {}, {self.grid: self.a})
+        assert not self.table.try_acquire("t2", {}, {self.grid: self.mid})
+        assert self.table.try_acquire("t2", {}, {self.grid: self.b})
 
     def test_release_unknown_owner_is_noop(self):
         self.table.release("ghost")

@@ -159,3 +159,23 @@ class TestLookupCostScaling:
             worst[P] = index.lookup_hops - before
         assert worst[4] <= worst[16] <= worst[64]
         assert worst[64] <= 14  # a handful of hops, not O(P)
+
+    def test_hops_match_charged_messages(self):
+        """``lookup_hops`` counts exactly the control messages a lookup
+        charges to the network — including the per-step *return* messages
+        (regression: those used to be charged but not counted)."""
+        for P in (4, 8, 16):
+            cluster, index = make_index(P)
+            grid = Grid((P * 8, 8), name=f"g{P}")
+            index.register_item(grid)
+            for pid, region in enumerate(grid.decompose(P)):
+                index.update_ownership(grid, pid, region)
+            for origin in range(P):
+                hops_before = index.lookup_hops
+                messages_before = cluster.metrics.counter("net.messages")
+                run_lookup(cluster, index, grid, grid.full_region, origin)
+                assert (
+                    index.lookup_hops - hops_before
+                    == cluster.metrics.counter("net.messages")
+                    - messages_before
+                )

@@ -139,3 +139,25 @@ class TestCachingImprovesTPC:
         assert cached_hits > 0
         assert cached_hops < base_hops
         assert cached_qps >= base_qps * 0.95  # never worse, usually better
+
+
+class TestNoOpUpdateKeepsCache:
+    def test_noop_ownership_update_preserves_cache(self):
+        """Regression: re-asserting the ownership already recorded used to
+        bump the item's version — wiping every origin's locality cache and
+        emitting maintenance messages for a change that never happened."""
+        cluster, index = make_index()
+        item = PartitionedGraph(64, name="g")
+        index.register_item(item)
+        parts = item.decompose(4)
+        for pid, region in enumerate(parts):
+            index.update_ownership(item, pid, region)
+        region = parts[3]
+        run(cluster, index.lookup_cached(item, region, 0))
+        assert index.cache_misses == 1
+        messages_before = index.update_messages
+        # identical leaf content, fresh (non-identical) region object
+        index.update_ownership(item, 3, parts[3].union(item.empty_region()))
+        assert index.update_messages == messages_before
+        run(cluster, index.lookup_cached(item, region, 0))
+        assert index.cache_hits == 1
