@@ -13,7 +13,7 @@ import numpy as np
 from repro.api import box_region, pfor
 from repro.items import Grid
 from repro.regions.box import Box
-from repro.runtime import AllScaleRuntime, RuntimeConfig, TaskSpec
+from repro.runtime import AllScaleRuntime, RuntimeConfig
 from repro.runtime.monitoring import Monitor
 from repro.sim import Cluster, ClusterSpec
 

@@ -1,0 +1,57 @@
+"""Static requirement analysis over task DAGs (pre-execution §2.5 checks).
+
+The §2.5 guarantees are proved from *declared* requirements (Def. 2.7);
+this package checks the declarations themselves, before a single
+simulation event runs:
+
+* :mod:`~repro.analysis.expansion` — unfold splitters to bounded depth
+  without executing bodies;
+* :mod:`~repro.analysis.coverage` — parent/child requirement subsumption
+  and sibling write-disjointness (the spawn rule's precondition);
+* :mod:`~repro.analysis.races` — declared-region race detection over
+  unordered task pairs, happens-before from the spawn/sync structure;
+* :mod:`~repro.analysis.lint` — AST pass comparing what a kernel's body
+  touches against what its task declared;
+* :mod:`~repro.analysis.model_bridge` — the same reasoning over formal
+  model programs (Defs. 2.3–2.7);
+* :mod:`~repro.analysis.admission` — opt-in submit-time analysis
+  (``REPRO_ANALYZE=1`` / ``warn`` / ``strict``), the static front door
+  to the runtime sentinel;
+* ``python -m repro.analysis`` — CLI over the paper apps and examples.
+"""
+
+from repro.analysis.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionError,
+)
+from repro.analysis.expansion import AnalysisConfig, TaskNode, expand_task
+from repro.analysis.findings import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    AnalysisReport,
+    Finding,
+)
+from repro.analysis.model_bridge import analyze_model_program
+from repro.analysis.program import TaskProgram, analyze_program, analyze_task
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionError",
+    "AnalysisConfig",
+    "AnalysisReport",
+    "ERROR",
+    "Finding",
+    "INFO",
+    "SEVERITIES",
+    "TaskNode",
+    "TaskProgram",
+    "WARNING",
+    "analyze_model_program",
+    "analyze_program",
+    "analyze_task",
+    "expand_task",
+]

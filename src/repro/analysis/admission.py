@@ -1,0 +1,167 @@
+"""Opt-in submit-time admission: the static front door to the sentinel.
+
+With admission active, every root task submitted through
+:meth:`AllScaleRuntime.submit` is analyzed *before* the scheduler sees it
+(children re-dispatched during splitting are not re-analyzed — the
+expansion already covered them statically).  Findings accumulate on the
+controller and surface as ``analysis.*`` counters in the runtime's
+metrics; **strict** mode raises :class:`AdmissionError` on any
+error-severity finding, rejecting the task before a single simulation
+event runs — the static counterpart of the sentinel's strict mode.
+
+Enablement mirrors :mod:`repro.runtime.sentinel`: per-runtime
+(``AdmissionController(runtime).attach()``), process-wide
+(:func:`enable_globally`, used by ``bench --analyze`` and the CLI), or
+for a whole test run (``REPRO_ANALYZE=1`` / ``warn`` / ``strict``,
+consumed in ``AllScaleRuntime.__init__`` via :func:`attach_from_global`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.expansion import AnalysisConfig
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.program import analyze_task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import AllScaleRuntime
+    from repro.runtime.tasks import TaskSpec
+
+
+class AdmissionError(RuntimeError):
+    """A task was rejected at submit time (strict admission)."""
+
+
+@dataclass
+class AdmissionConfig:
+    """Behaviour knobs of submit-time analysis."""
+
+    #: reject (raise) on error-severity findings instead of just recording
+    strict: bool = False
+    #: bounds for the per-submission analyzer runs
+    analysis: AnalysisConfig = field(
+        default_factory=AnalysisConfig.admission_profile
+    )
+    #: stop analyzing after this many submissions per runtime (admission
+    #: is a spot check at the front door, not a profiler; iterative apps
+    #: submit the same task shape every timestep)
+    max_submissions: int = 256
+
+
+class AdmissionController:
+    """Analyzes one runtime's submissions at the front door."""
+
+    def __init__(
+        self,
+        runtime: "AllScaleRuntime",
+        config: AdmissionConfig | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.config = config or AdmissionConfig()
+        self.reports: list[AnalysisReport] = []
+        self.analyzed = 0
+        self.skipped = 0
+
+    def attach(self) -> "AdmissionController":
+        if self.runtime.analyzer is not None and self.runtime.analyzer is not self:
+            raise RuntimeError("runtime already has an admission controller")
+        self.runtime.analyzer = self
+        return self
+
+    def detach(self) -> None:
+        if self.runtime.analyzer is self:
+            self.runtime.analyzer = None
+
+    def on_submit(self, task: "TaskSpec") -> None:
+        """Analyze one root submission; raises in strict mode on errors."""
+        if self.analyzed >= self.config.max_submissions:
+            self.skipped += 1
+            return
+        self.analyzed += 1
+        report = analyze_task(task, self.config.analysis)
+        self.reports.append(report)
+        metrics = self.runtime.metrics
+        metrics.incr("analysis.submissions")
+        counts = report.counts()
+        for severity in ("error", "warning", "info"):
+            if counts[severity]:
+                metrics.incr(f"analysis.findings.{severity}", counts[severity])
+        metrics.incr("analysis.tasks_expanded", report.tasks_expanded)
+        metrics.incr("analysis.pairs_checked", report.pairs_checked)
+        metrics.incr("analysis.elapsed", report.elapsed)
+        if self.config.strict and report.errors:
+            raise AdmissionError(
+                f"task {task.name!r} rejected by static analysis:\n"
+                + "\n".join(str(f) for f in report.errors)
+            )
+
+    def combined_report(self) -> AnalysisReport:
+        """All submissions' findings folded into one (deduplicated)."""
+        out = AnalysisReport(subject=f"runtime:{id(self.runtime):#x}")
+        for report in self.reports:
+            out.merge(report)
+        return out
+
+
+# -- process-wide enablement (bench --analyze, REPRO_ANALYZE=1) -----------------
+
+#: explicit-off marker: distinguishes "never configured, fall back to the
+#: environment variable" (None) from "switched off programmatically"
+_DISABLED = object()
+_global_config: object = None
+#: controllers created while global enablement was active (drained by the
+#: CLI, the bench reporter, and the test fixture)
+_created: list[AdmissionController] = []
+
+
+def enable_globally(config: AdmissionConfig | None = None) -> None:
+    """Attach admission to every :class:`AllScaleRuntime` created from now on."""
+    global _global_config
+    _global_config = config or AdmissionConfig()
+    _created.clear()
+
+
+def disable_globally() -> None:
+    """Switch auto-attachment off, overriding ``REPRO_ANALYZE`` too.
+
+    Seeded-defect tests use this: they submit deliberately broken task
+    trees and run the analyzer by hand instead.
+    """
+    global _global_config
+    _global_config = _DISABLED
+
+
+def reset_global() -> None:
+    """Back to the default: enabled iff ``REPRO_ANALYZE`` is set."""
+    global _global_config
+    _global_config = None
+
+
+def global_config() -> AdmissionConfig | None:
+    """Active process-wide config, if any (``REPRO_ANALYZE`` counts)."""
+    if _global_config is _DISABLED:
+        return None
+    if _global_config is not None:
+        return _global_config  # type: ignore[return-value]
+    value = os.environ.get("REPRO_ANALYZE", "0").strip().lower()
+    if value in ("", "0"):
+        return None
+    return AdmissionConfig(strict=value == "strict")
+
+
+def drain_created() -> list[AdmissionController]:
+    """Return and forget the controllers auto-attached since the last drain."""
+    out, _created[:] = list(_created), []
+    return out
+
+
+def attach_from_global(runtime: "AllScaleRuntime") -> None:
+    """Auto-attach admission if process-wide enablement is active."""
+    config = global_config()
+    if config is None:
+        return
+    controller = AdmissionController(runtime, config).attach()
+    _created.append(controller)

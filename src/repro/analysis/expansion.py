@@ -1,0 +1,136 @@
+"""Bounded static expansion of splittable task trees.
+
+The parallel variant of a :class:`~repro.runtime.tasks.TaskSpec` is its
+``splitter``: a closure producing the child tasks the runtime would spawn
+(Algorithm 2's split branch).  Splitters only *construct* child specs —
+they evaluate the compiler-style requirement functions but never run leaf
+bodies — so the analyzer can unfold the task tree ahead of execution and
+reason about the declared requirements at every level.
+
+Expansion is bounded two ways (``max_depth``, ``max_nodes``): a
+paper-scale ``pfor`` unfolds into millions of leaves, but requirement
+defects are self-similar — a child escaping its parent's declaration does
+so at the first split just as it would at the tenth, because requirement
+functions are evaluated pointwise on sub-ranges.  Nodes whose splitter was
+not invoked are marked ``truncated`` and counted in the report, so "no
+findings" is always qualified by how much tree was explored.
+
+Splitters are expected to be *pure* (side-effect-free and deterministic);
+the runtime may invoke them once more at execution time.  A splitter that
+raises during expansion becomes a ``expansion.splitter_failed`` warning
+rather than an analyzer crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.findings import WARNING, Finding
+from repro.runtime.tasks import TaskSpec
+
+
+@dataclass
+class AnalysisConfig:
+    """Bounds and toggles of one analyzer run."""
+
+    #: how many split levels below each analyzed root to unfold
+    max_depth: int = 4
+    #: total node budget across the expansion (hard cap)
+    max_nodes: int = 512
+    #: run the requirement-coverage check (spawn-rule precondition)
+    coverage: bool = True
+    #: run the static race detector over unordered task pairs
+    races: bool = True
+    #: run the AST lint pass over leaf bodies
+    lint: bool = True
+    #: unordered-pair comparison budget for the race detector
+    max_pairs: int = 100_000
+
+    @classmethod
+    def admission_profile(cls) -> "AnalysisConfig":
+        """Cheaper bounds for per-submit admission checking."""
+        return cls(max_depth=3, max_nodes=128, max_pairs=10_000)
+
+
+@dataclass
+class TaskNode:
+    """One task of the statically expanded tree."""
+
+    spec: TaskSpec
+    depth: int
+    #: provenance path: root task name, then bracketed child indices
+    path: str
+    parent: "TaskNode | None" = None
+    children: list["TaskNode"] = field(default_factory=list)
+    #: splittable but not expanded (depth or node budget reached)
+    truncated: bool = False
+
+    def walk(self) -> Iterator["TaskNode"]:
+        """Depth-first pre-order traversal of this subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskNode({self.path!r}, depth={self.depth}, "
+            f"children={len(self.children)})"
+        )
+
+
+def expand_task(
+    spec: TaskSpec,
+    config: AnalysisConfig | None = None,
+    findings: list[Finding] | None = None,
+) -> tuple[TaskNode, int, int]:
+    """Unfold ``spec``'s split structure without executing bodies.
+
+    Returns ``(root, nodes_expanded, nodes_truncated)``; expansion
+    problems are appended to ``findings`` when a list is supplied.
+    """
+    config = config or AnalysisConfig()
+    root = TaskNode(spec=spec, depth=0, path=spec.name)
+    expanded = 1
+    truncated = 0
+    frontier = [root]
+    while frontier:
+        node = frontier.pop(0)  # breadth-first: shallow levels win the budget
+        if not node.spec.splittable:
+            continue
+        if node.depth >= config.max_depth or expanded >= config.max_nodes:
+            node.truncated = True
+            truncated += 1
+            continue
+        try:
+            children = node.spec.expand_children()
+        except Exception as exc:  # noqa: BLE001 - analyzer must not crash
+            if findings is not None:
+                findings.append(
+                    Finding(
+                        check="expansion.splitter_failed",
+                        severity=WARNING,
+                        message=f"splitter raised {exc!r}; subtree not analyzed",
+                        task=node.path,
+                    )
+                )
+            node.truncated = True
+            truncated += 1
+            continue
+        for index, child_spec in enumerate(children):
+            if expanded >= config.max_nodes:
+                node.truncated = True
+                truncated += 1
+                break
+            child = TaskNode(
+                spec=child_spec,
+                depth=node.depth + 1,
+                path=f"{node.path}[{index}]",
+                parent=node,
+            )
+            node.children.append(child)
+            frontier.append(child)
+            expanded += 1
+    return root, expanded, truncated

@@ -1,0 +1,158 @@
+"""Structured findings of the static requirement analyzer.
+
+Every check in :mod:`repro.analysis` reports through one vocabulary: a
+:class:`Finding` names the check that fired, a severity, the task (by
+provenance path through the expanded task tree), the data item and region
+involved, and a human-readable message.  :class:`AnalysisReport`
+aggregates findings plus the expansion statistics a caller needs to judge
+how much of the task tree was actually covered (bounded expansion means
+"no findings" is only as strong as the explored depth).
+
+Severities:
+
+* ``error`` — a declared-requirement structure under which the §2.5
+  guarantees cannot hold (overlapping sibling writes, child requirements
+  escaping the parent, a body touching an undeclared item).  CI fails on
+  these; strict admission rejects the task.
+* ``warning`` — legal but suspicious: unordered read/write overlap
+  (scheduling-order-dependent results), requirements declared but never
+  touched (lost parallelism), reads of write-only declarations.
+* ``info`` — analyzer limitations worth surfacing (unresolvable item
+  references, bodies without retrievable source), never a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: severity levels, in increasing order of badness
+SEVERITIES = ("info", "warning", "error")
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One issue discovered by a static check."""
+
+    #: which check fired, e.g. ``coverage.write_escape`` or
+    #: ``race.write_write`` or ``lint.undeclared_item``
+    check: str
+    severity: str
+    message: str
+    #: provenance path of the task through the expanded tree, e.g.
+    #: ``step0/step0[1]/step0[1][0]`` (root name, then child indices)
+    task: str | None = None
+    #: name of the data item involved, if any
+    item: str | None = None
+    #: offending region (repr'd lazily by renderers), if any
+    region: Any = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        parts = [f"{self.severity.upper()} [{self.check}]"]
+        if self.task is not None:
+            parts.append(f"task={self.task!r}")
+        if self.item is not None:
+            parts.append(f"item={self.item!r}")
+        parts.append(self.message)
+        return " ".join(parts)
+
+    def key(self) -> tuple:
+        """Deduplication key (region participates via its repr)."""
+        return (self.check, self.task, self.item, self.message)
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregated result of analyzing one task tree or program."""
+
+    #: what was analyzed (root task name or program label)
+    subject: str = ""
+    findings: list[Finding] = field(default_factory=list)
+    #: task-tree nodes visited during expansion
+    tasks_expanded: int = 0
+    #: nodes whose splitter was *not* expanded (depth/node budget hit)
+    tasks_truncated: int = 0
+    #: leaf bodies the lint pass actually parsed
+    bodies_linted: int = 0
+    #: unordered task pairs the race detector compared
+    pairs_checked: int = 0
+    #: wall-clock seconds spent analyzing (filled by the driver)
+    elapsed: float = 0.0
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def by_severity(self, severity: str) -> list[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity(ERROR)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return self.by_severity(WARNING)
+
+    @property
+    def clean(self) -> bool:
+        """No error-severity findings (warnings and infos may remain)."""
+        return not self.errors
+
+    def counts(self) -> dict[str, int]:
+        out = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            out[finding.severity] += 1
+        return out
+
+    def merge(self, other: "AnalysisReport") -> None:
+        """Fold ``other`` into this report, deduplicating findings."""
+        seen = {f.key() for f in self.findings}
+        for finding in other.findings:
+            if finding.key() not in seen:
+                seen.add(finding.key())
+                self.findings.append(finding)
+        self.tasks_expanded += other.tasks_expanded
+        self.tasks_truncated += other.tasks_truncated
+        self.bodies_linted += other.bodies_linted
+        self.pairs_checked += other.pairs_checked
+        self.elapsed += other.elapsed
+
+    def summary(self) -> str:
+        counts = self.counts()
+        return (
+            f"{self.subject or '<analysis>'}: "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info(s) over {self.tasks_expanded} task(s)"
+            + (
+                f" ({self.tasks_truncated} truncated)"
+                if self.tasks_truncated
+                else ""
+            )
+        )
+
+    def render_lines(self, max_findings: int | None = None) -> list[str]:
+        """Human-readable report: summary line plus one line per finding."""
+        lines = [self.summary()]
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (-SEVERITIES.index(f.severity), f.check, str(f.task)),
+        )
+        shown = ordered if max_findings is None else ordered[:max_findings]
+        lines.extend(f"  {finding}" for finding in shown)
+        if max_findings is not None and len(ordered) > max_findings:
+            lines.append(f"  ... and {len(ordered) - max_findings} more")
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.render_lines())

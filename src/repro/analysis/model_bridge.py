@@ -1,0 +1,268 @@
+"""Static analysis of model-level programs (Definitions 2.3–2.7).
+
+The runtime-facing analyzer works on :class:`TaskSpec` trees; this bridge
+applies the same reasoning to the formal layer: a
+:class:`~repro.model.task.Program` whose variant bodies are generators
+yielding the action algebra of Def. 2.5.  Bodies are *executed* here —
+they are the model's behaviour, there is nothing below them to simulate —
+but only for their action sequences; no runtime, engine, or data ever
+exists.
+
+Happens-before comes from the spawn/sync structure (the premises of the
+*spawn*/*sync* rules): a spawned child is concurrent with its parent's
+continuation until the parent syncs on it, so two children are ordered
+exactly when the first's ``sync`` precedes the second's ``spawn`` in the
+parent's action sequence.  For unordered pairs, declared requirement
+intersections are reported like the runtime checks: write/write overlap
+is an *exclusive writes* violation (error), read/write overlap a
+determinism warning.  A task with several variants must be safe under
+every choice (Def. 2.3 lets the runtime pick freely), so requirements
+are unioned over variants.
+
+Parent/child subsumption is *not* a premise of the formal model (any
+variant may declare any requirement), so escapes are reported as
+warnings, not errors — and items the parent's body ``create``\\ s are
+exempt, since the parent cannot have declared requirements on items that
+did not exist at its own spawn.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.expansion import AnalysisConfig
+from repro.analysis.findings import ERROR, WARNING, AnalysisReport, Finding
+from repro.model.actions import Create, End, Spawn, Sync
+from repro.model.execution import VariantExecution
+from repro.model.task import AccessSpec, Program, Task, Variant
+
+#: step budget per variant body — model bodies are scripts, not loops over
+#: data, so this is a runaway guard rather than a real bound
+MAX_STEPS = 10_000
+
+
+def analyze_model_program(
+    program: Program,
+    config: AnalysisConfig | None = None,
+) -> AnalysisReport:
+    """Statically check a model program's spawn/sync/requirement structure."""
+    config = config or AnalysisConfig()
+    report = AnalysisReport(subject=f"program:{program.entry.name}")
+    budget = [config.max_nodes]
+    _analyze_task(program.entry, program.entry.name, 0, config, report, budget)
+    return report
+
+
+def _requirements(task: Task) -> tuple[dict, dict]:
+    """Requirements unioned over all variants ({item: region} twice)."""
+    reads: dict = {}
+    writes: dict = {}
+    for variant in task.variants:
+        for item, region in variant.requirements.read_items().items():
+            current = reads.get(item)
+            reads[item] = region if current is None else current.union(region)
+        for item, region in variant.requirements.write_items().items():
+            current = writes.get(item)
+            writes[item] = region if current is None else current.union(region)
+    return reads, writes
+
+
+def _analyze_task(
+    task: Task,
+    path: str,
+    depth: int,
+    config: AnalysisConfig,
+    report: AnalysisReport,
+    budget: list[int],
+) -> None:
+    if budget[0] <= 0:
+        report.tasks_truncated += 1
+        return
+    budget[0] -= 1
+    report.tasks_expanded += 1
+    for variant in task.variants:
+        _analyze_variant(task, variant, path, depth, config, report, budget)
+
+
+def _analyze_variant(
+    task: Task,
+    variant: Variant,
+    path: str,
+    depth: int,
+    config: AnalysisConfig,
+    report: AnalysisReport,
+    budget: list[int],
+) -> None:
+    try:
+        actions = _trace(variant)
+    except Exception as exc:  # noqa: BLE001 - analyzer must not crash
+        report.add(
+            Finding(
+                check="model.body_failed",
+                severity=WARNING,
+                message=f"variant body raised {exc!r}; not analyzed",
+                task=path,
+            )
+        )
+        return
+
+    created = {a.item for a in actions if isinstance(a, Create)}
+    #: children in spawn order, with the action index of their spawn
+    spawns: list[tuple[int, Task]] = [
+        (i, a.task) for i, a in enumerate(actions) if isinstance(a, Spawn)
+    ]
+    #: task -> action index of the first sync on it
+    syncs: dict[Task, int] = {}
+    for i, action in enumerate(actions):
+        if isinstance(action, Sync) and action.task not in syncs:
+            syncs[action.task] = i
+
+    if config.coverage:
+        _check_model_coverage(variant, spawns, created, path, report)
+
+    if config.races:
+        child_requirements = {
+            child: _requirements(child) for _i, child in spawns
+        }
+        for a_pos in range(len(spawns)):
+            for b_pos in range(a_pos + 1, len(spawns)):
+                if report.pairs_checked >= config.max_pairs:
+                    break
+                spawn_a, child_a = spawns[a_pos]
+                spawn_b, child_b = spawns[b_pos]
+                if child_a is child_b:
+                    continue
+                # ordered iff the earlier child was synced before the
+                # later one was spawned
+                sync_a = syncs.get(child_a)
+                if sync_a is not None and sync_a < spawn_b:
+                    continue
+                report.pairs_checked += 1
+                _check_model_pair(
+                    child_a,
+                    child_b,
+                    child_requirements[child_a],
+                    child_requirements[child_b],
+                    path,
+                    report,
+                )
+
+    if depth < config.max_depth:
+        seen: set[Task] = set()
+        for _i, child in spawns:
+            if child in seen:
+                continue
+            seen.add(child)
+            _analyze_task(
+                child, f"{path}/{child.name}", depth + 1, config, report, budget
+            )
+    elif spawns:
+        report.tasks_truncated += 1
+
+
+def _trace(variant: Variant) -> list:
+    execution = VariantExecution.init(variant)
+    actions = []
+    for _ in range(MAX_STEPS):
+        action = execution.step()
+        actions.append(action)
+        if isinstance(action, End):
+            return actions
+    raise RuntimeError(f"variant {variant.name!r} exceeded {MAX_STEPS} steps")
+
+
+def _check_model_coverage(
+    variant: Variant,
+    spawns: list,
+    created: set,
+    path: str,
+    report: AnalysisReport,
+) -> None:
+    requirements: AccessSpec = variant.requirements
+    for _i, child in spawns:
+        child_reads, child_writes = _requirements(child)
+        child_path = f"{path}/{child.name}"
+        for item, region in child_writes.items():
+            if item in created:
+                continue
+            escape = region.difference(requirements.write(item))
+            if not escape.is_empty():
+                report.add(
+                    Finding(
+                        check="model.write_escape",
+                        severity=WARNING,
+                        message=(
+                            f"child writes {escape.size()} element(s) "
+                            "outside the spawning variant's write set"
+                        ),
+                        task=child_path,
+                        item=item.name,
+                        region=escape,
+                    )
+                )
+        for item, region in child_reads.items():
+            if item in created:
+                continue
+            escape = region.difference(requirements.accessed(item))
+            if not escape.is_empty():
+                report.add(
+                    Finding(
+                        check="model.read_escape",
+                        severity=WARNING,
+                        message=(
+                            f"child reads {escape.size()} element(s) "
+                            "outside the spawning variant's requirements"
+                        ),
+                        task=child_path,
+                        item=item.name,
+                        region=escape,
+                    )
+                )
+
+
+def _check_model_pair(
+    task_a: Task,
+    task_b: Task,
+    reqs_a: tuple[dict, dict],
+    reqs_b: tuple[dict, dict],
+    path: str,
+    report: AnalysisReport,
+) -> None:
+    reads_a, writes_a = reqs_a
+    reads_b, writes_b = reqs_b
+    for item in sorted(writes_a.keys() & writes_b.keys(), key=lambda i: i.name):
+        overlap = writes_a[item].intersect(writes_b[item])
+        if overlap.is_empty():
+            continue
+        report.add(
+            Finding(
+                check="race.write_write",
+                severity=ERROR,
+                message=(
+                    f"unordered spawned tasks both write {overlap.size()} "
+                    f"element(s) (peer: {path}/{task_a.name!r})"
+                ),
+                task=f"{path}/{task_b.name}",
+                item=item.name,
+                region=overlap,
+            )
+        )
+    for (r_task, reads), (w_task, writes) in (
+        ((task_a, reads_a), (task_b, writes_b)),
+        ((task_b, reads_b), (task_a, writes_a)),
+    ):
+        for item in sorted(reads.keys() & writes.keys(), key=lambda i: i.name):
+            overlap = reads[item].intersect(writes[item])
+            if overlap.is_empty():
+                continue
+            report.add(
+                Finding(
+                    check="race.read_write",
+                    severity=WARNING,
+                    message=(
+                        f"unordered read/write overlap of {overlap.size()} "
+                        f"element(s) (writer: {path}/{w_task.name!r})"
+                    ),
+                    task=f"{path}/{r_task.name}",
+                    item=item.name,
+                    region=overlap,
+                )
+            )

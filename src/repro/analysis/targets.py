@@ -1,0 +1,133 @@
+"""Named analysis targets: the paper apps and the example scripts.
+
+The CLI analyzes the *real* task graphs, not hand-maintained replicas:
+each target runs its application at a miniature scale with submit-time
+admission globally enabled (warn mode), then drains the auto-attached
+controllers and folds their per-submission reports into one.  Whatever
+tasks the app actually submits — including shapes that only exist at
+runtime, like TPC's per-batch splitter closures — is what gets analyzed;
+the target can never drift out of sync with the app.
+
+Example scripts are executed the same way via :mod:`runpy` (they are
+top-level scripts, self-verifying against NumPy references), with their
+stdout captured so the analysis report stays readable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pathlib
+import runpy
+
+from repro.analysis import admission
+from repro.analysis.expansion import AnalysisConfig
+from repro.analysis.findings import AnalysisReport
+
+
+def _collect(label: str, action, config: AnalysisConfig) -> AnalysisReport:
+    """Run ``action`` with global admission on; return the merged report."""
+    admission.enable_globally(
+        admission.AdmissionConfig(strict=False, analysis=config)
+    )
+    try:
+        action()
+    finally:
+        controllers = admission.drain_created()
+        admission.reset_global()
+    report = AnalysisReport(subject=label)
+    for controller in controllers:
+        for sub in controller.reports:
+            report.merge(sub)
+    return report
+
+
+# -- the three paper applications, miniature scale ------------------------------
+
+
+def _run_stencil() -> None:
+    from repro.apps.stencil import StencilWorkload, stencil_allscale
+    from repro.sim import Cluster, ClusterSpec
+
+    stencil_allscale(
+        Cluster(ClusterSpec(num_nodes=2, cores_per_node=2)),
+        StencilWorkload(n_per_node=16, timesteps=2, functional=False),
+    )
+
+
+def _run_ipic3d() -> None:
+    from repro.apps.ipic3d import IPic3DWorkload, ipic3d_allscale
+    from repro.sim import Cluster, ClusterSpec
+
+    ipic3d_allscale(
+        Cluster(ClusterSpec(num_nodes=2, cores_per_node=2)),
+        IPic3DWorkload(
+            particles_per_node=1_000,
+            cells_per_node_side=4,
+            timesteps=2,
+        ),
+    )
+
+
+def _run_tpc() -> None:
+    from repro.apps.tpc import TPCWorkload, tpc_allscale
+    from repro.sim import Cluster, ClusterSpec
+
+    tpc_allscale(
+        Cluster(ClusterSpec(num_nodes=2, cores_per_node=2)),
+        TPCWorkload(
+            total_points=2**10,
+            depth=6,
+            queries_per_node=4,
+            task_subtree_height=3,
+            task_batch=2,
+        ),
+    )
+
+
+APP_RUNNERS = {
+    "stencil": _run_stencil,
+    "ipic3d": _run_ipic3d,
+    "tpc": _run_tpc,
+}
+
+
+def analyze_app(name: str, config: AnalysisConfig | None = None) -> AnalysisReport:
+    """Analyze every task graph one paper app submits (miniature scale)."""
+    runner = APP_RUNNERS[name]
+    return _collect(f"app:{name}", runner, config or AnalysisConfig())
+
+
+# -- example scripts -------------------------------------------------------------
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[3] / "examples"
+
+#: examples whose task graphs admission can observe.  ``model_trace_demo``
+#: exercises the formal interpreter only (no runtime submissions) and is
+#: covered by the model-bridge tests instead.
+EXAMPLE_SCRIPTS = (
+    "quickstart.py",
+    "heat_diffusion.py",
+    "particle_in_cell.py",
+    "adaptive_load.py",
+    "graph_bfs.py",
+    "two_point_correlation.py",
+)
+
+
+def analyze_example(
+    script: str | pathlib.Path,
+    config: AnalysisConfig | None = None,
+) -> AnalysisReport:
+    """Run one example script under admission and report its task graphs."""
+    path = pathlib.Path(script)
+    if not path.exists():
+        path = EXAMPLES_DIR / script
+
+    def action() -> None:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(str(path), run_name="__analysis__")
+
+    return _collect(
+        f"example:{path.name}", action, config or AnalysisConfig()
+    )

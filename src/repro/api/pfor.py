@@ -64,6 +64,7 @@ def pfor_task(
     if root.is_empty():
         raise ValueError(f"empty pfor range {lo!r}..{hi!r}")
     task_name = name or fresh_id("pfor")
+    user_kernel = body if body is not None else point_kernel
 
     if point_kernel is not None:
         def bulk_body(ctx: TaskExecutionContext, box: Box) -> Any:
@@ -89,6 +90,7 @@ def pfor_task(
             if gpu_flops_per_element is not None
             else None
         ),
+        origin_body=user_kernel,
     )
     return recursion.task(root, granularity)
 

@@ -49,6 +49,7 @@ class PrecFunction(Generic[P]):
         name: str | None = None,
         body_in_virtual: bool = False,
         gpu_cost: Callable[[P], float] | None = None,
+        origin_body: Callable[..., Any] | None = None,
     ) -> None:
         self.base_test = base_test
         self.base = base
@@ -62,6 +63,10 @@ class PrecFunction(Generic[P]):
         self.body_in_virtual = body_in_virtual
         #: optional device cost of the base case — enables the GPU variant
         self.gpu_cost = gpu_cost
+        #: user kernel for the static analyzer's lint pass; ``base`` when
+        #: it is itself the user-authored kernel (pfor overrides this with
+        #: the point kernel its bulk wrapper hides)
+        self.origin_body = origin_body or base
 
     def task(self, param: P, granularity: float | None = None) -> TaskSpec:
         """Build the task (with both variants) for one recursion parameter."""
@@ -89,6 +94,7 @@ class PrecFunction(Generic[P]):
             gpu_flops=(
                 float(self.gpu_cost(param)) if self.gpu_cost is not None else None
             ),
+            origin_body=self.origin_body,
         )
 
     def submit(

@@ -42,7 +42,7 @@ from repro.items.grid import Grid
 from repro.mpi.comm import Communicator
 from repro.mpi.halo import plan_halo_exchange
 from repro.mpi.program import run_spmd
-from repro.regions.box import Box, grid_block_decomposition
+from repro.regions.box import grid_block_decomposition
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.policies import SchedulingPolicy
 from repro.runtime.runtime import AllScaleRuntime

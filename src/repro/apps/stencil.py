@@ -18,7 +18,7 @@ virtual mode only costs flow, enabling paper-scale sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Generator
 
 import numpy as np
@@ -27,7 +27,7 @@ from repro.api import expand_box, box_region, pfor
 from repro.apps.common import AppResult
 from repro.items.grid import Grid, GridFragment
 from repro.mpi.comm import Communicator
-from repro.mpi.halo import exchange_step, plan_halo_exchange
+from repro.mpi.halo import plan_halo_exchange
 from repro.mpi.program import run_spmd
 from repro.regions.box import Box, grid_block_decomposition
 from repro.runtime.config import RuntimeConfig

@@ -279,6 +279,18 @@ def tpc_allscale(
     batches = _query_batches(problem, workload.task_batch)
 
     def batch_task(batch: list[int]) -> TaskSpec:
+        # the root's requirement must subsume its children's (the spawn
+        # rule's precondition): the union of every sub-tree any batched
+        # query descends into.  Without it the band children's reads
+        # escape the root — the static analyzer's coverage check flags
+        # exactly that (see tests/test_analysis_apps.py).
+        batch_roots = sorted(
+            {root for qi in batch for root in problem.plans[qi].recurse_roots}
+        )
+        batch_reads = problem.item.empty_region()
+        for root in batch_roots:
+            batch_reads = batch_reads.union(problem.item.subtree_region(root))
+
         def splitter() -> list[TaskSpec]:
             children: list[TaskSpec] = []
             top_flops = sum(
@@ -317,6 +329,11 @@ def tpc_allscale(
 
         return TaskSpec(
             name=f"tpc.query[{batch[0]}..{batch[-1]}]",
+            reads=(
+                {problem.item: batch_reads}
+                if not batch_reads.is_empty()
+                else {}
+            ),
             size_hint=float(len(batch) + 2),
             granularity=1.0,
             splitter=splitter,

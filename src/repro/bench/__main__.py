@@ -70,6 +70,13 @@ def main(argv: list[str] | None = None) -> int:
         "attached; report checking overhead and any violations "
         "(non-zero exit if an invariant fails)",
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="re-run each panel with static admission analysis attached; "
+        "report per-panel analysis wall time and finding counts "
+        "(non-zero exit if any error finding surfaces)",
+    )
     args = parser.parse_args(argv)
 
     for artifact in args.artifacts:
@@ -91,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
 
     ran_panels = False
     total_violations = 0
+    total_analysis_errors = 0
     for name, build in PANELS.items():
         if name not in wanted:
             continue
@@ -147,6 +155,45 @@ def main(argv: list[str] | None = None) -> int:
                 for line in sentinel.report_lines()[1:]:
                     print(line)
             print()
+        if args.analyze:
+            from repro.analysis import admission
+
+            admission.enable_globally(admission.AdmissionConfig(strict=False))
+            try:
+                analyzed_started = time.perf_counter()
+                build(quick=args.quick, smoke=args.smoke)
+                analyzed_elapsed = time.perf_counter() - analyzed_started
+            finally:
+                controllers = admission.drain_created()
+                admission.reset_global()
+            reports = [
+                report
+                for controller in controllers
+                for report in controller.reports
+            ]
+            analysis_time = sum(report.elapsed for report in reports)
+            counts = {"error": 0, "warning": 0, "info": 0}
+            for report in reports:
+                for severity, count in report.counts().items():
+                    counts[severity] += count
+            total_analysis_errors += counts["error"]
+            share = (
+                analysis_time / analyzed_elapsed * 100.0
+                if analyzed_elapsed
+                else 0.0
+            )
+            print(
+                f"(analysis: {analysis_time * 1000.0:.1f} ms over "
+                f"{len(reports)} submission(s) ({share:.1f}% of "
+                f"{analyzed_elapsed:.1f}s wall time), "
+                f"{counts['error']} error(s), {counts['warning']} "
+                f"warning(s), {counts['info']} info(s))"
+            )
+            for report in reports:
+                if not report.clean:
+                    for line in report.render_lines(max_findings=10):
+                        print(f"  {line}")
+            print()
         if args.out is not None:
             path = args.out / f"fig7_{name}.csv"
             path.write_text(series_to_csv(series))
@@ -164,6 +211,9 @@ def main(argv: list[str] | None = None) -> int:
             print()
     if total_violations:
         print(f"sentinel: {total_violations} invariant violation(s) detected")
+        return 1
+    if total_analysis_errors:
+        print(f"analysis: {total_analysis_errors} error finding(s) detected")
         return 1
     return 0
 

@@ -17,7 +17,6 @@ Calibration (single-node anchors, see DESIGN.md §5):
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.apps.ipic3d import IPic3DWorkload, ipic3d_allscale, ipic3d_mpi
 from repro.apps.stencil import StencilWorkload, stencil_allscale, stencil_mpi

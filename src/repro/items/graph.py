@@ -13,7 +13,7 @@ verification of distributed algorithms (see ``examples/graph_bfs.py``).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.items.base import DataItem, Fragment, FragmentPayload
 from repro.regions.base import Region

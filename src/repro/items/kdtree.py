@@ -25,7 +25,6 @@ traversal of :mod:`repro.apps.tpc`.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from enum import Enum
 from typing import Sequence

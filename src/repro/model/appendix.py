@@ -10,7 +10,6 @@ tested — line by line.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from repro.model.architecture import ArchitectureModel
 from repro.model.interpreter import PROGRESS_KINDS, Trace

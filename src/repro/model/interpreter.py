@@ -28,9 +28,8 @@ from dataclasses import dataclass, field
 
 from repro.model import transitions as rules
 from repro.model.architecture import ArchitectureModel, MemorySpace
-from repro.model.elements import DataItemDecl
 from repro.model.state import StateSnapshot, SystemState, initial_state
-from repro.model.task import Program, Task, Variant
+from repro.model.task import Program, Variant
 
 
 PROGRESS_KINDS = frozenset(

@@ -28,7 +28,7 @@ transition guards except where the guard quantifies over them faithfully
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from repro.model.architecture import ArchitectureModel, ComputeUnit, MemorySpace
 from repro.model.elements import DataItemDecl

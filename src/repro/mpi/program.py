@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from repro.mpi.comm import Communicator, MpiWorld
+from repro.mpi.comm import MpiWorld
 from repro.sim.cluster import Cluster
 
 RankMain = Callable[..., Generator]

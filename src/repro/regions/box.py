@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Iterator, Sequence
 
 from repro.regions.base import Region, RegionMismatchError

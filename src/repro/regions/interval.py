@@ -14,7 +14,7 @@ cheap and semantic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, Iterator, Sequence
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.regions.base import Region, RegionMismatchError
 

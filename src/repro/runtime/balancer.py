@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
-from repro.items.base import DataItem
 from repro.regions.base import Region
 from repro.regions.box import Box, BoxSetRegion
 from repro.regions.interval import IntervalRegion, split_interval_region

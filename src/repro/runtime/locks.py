@@ -16,7 +16,7 @@ queue on a future and are retried in FIFO order as locks drain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.items.base import DataItem

@@ -154,7 +154,6 @@ class RuntimeProcess:
     def _run_leaf(
         self, task: TaskSpec, treeture: Treeture, offload: bool = False
     ) -> Generator:
-        cfg = self.runtime.config
         tracer = self.runtime.tracer
         sentinel = self.runtime.sentinel
         now = self.runtime.engine.now

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from repro.analysis.admission import attach_from_global as attach_analysis
 from repro.items.base import DataItem
 from repro.regions.base import Region
 from repro.regions.bounds import bounds_disjoint, corner_bounds
@@ -73,12 +74,17 @@ class AllScaleRuntime:
         self.tracer = None
         #: optional invariant sentinel (repro.runtime.sentinel)
         self.sentinel = None
+        #: optional submit-time admission controller (repro.analysis.admission)
+        self.analyzer = None
         # kernel counters are process-wide; remember the creation-time
         # snapshot so this runtime's metrics report only its own activity
         self._region_stats_base = get_kernel().stats()
         # honor process-wide sentinel enablement (REPRO_SENTINEL=1,
         # bench --sentinel, the tier-1 sentinel fixture)
         attach_from_global(self)
+        # honor process-wide admission enablement (REPRO_ANALYZE=1,
+        # bench --analyze, the analysis CLI targets)
+        attach_analysis(self)
 
     # -- structure ---------------------------------------------------------------
 
@@ -336,6 +342,11 @@ class AllScaleRuntime:
         ``after`` defers placement until the listed treetures complete —
         dependency chaining without a global barrier.
         """
+        if self.analyzer is not None:
+            # static admission sees root submissions only: children
+            # re-dispatched during splitting go through scheduler.assign
+            # directly, and the expansion already covered them
+            self.analyzer.on_submit(task)
         return self.scheduler.assign(task, origin=origin, after=after)
 
     def spawn(self, gen: Generator):

@@ -58,6 +58,11 @@ class TaskSpec:
     #: "runtime may choose between these alternatives" extended to
     #: accelerators); None = CPU-only task
     gpu_flops: float | None = None
+    #: the user-authored kernel ``body`` wraps, when they differ — pfor's
+    #: point kernels and prec's base cases are closed over parameters
+    #: before becoming ``body``, hiding their source from the static
+    #: analyzer; builders record the original here for the AST lint pass
+    origin_body: Callable[..., Any] | None = None
 
     def transfer_bytes(self) -> int:
         """Host↔device bytes an offloaded execution must move."""
@@ -78,6 +83,17 @@ class TaskSpec:
     @property
     def splittable(self) -> bool:
         return self.splitter is not None
+
+    def expand_children(self) -> list["TaskSpec"]:
+        """Child specs the split variant would spawn, without running them.
+
+        Splitters are pure constructors (they evaluate requirement
+        functions, never leaf bodies), so this is safe to call outside
+        the scheduler — the static analyzer unfolds task trees with it.
+        """
+        if self.splitter is None:
+            raise ValueError(f"task {self.name!r} is leaf-only")
+        return list(self.splitter())
 
     def accessed_items(self) -> frozenset[DataItem]:
         return frozenset(self.reads) | frozenset(self.writes)

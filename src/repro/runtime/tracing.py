@@ -15,11 +15,7 @@ which is how the task-overhead findings in EXPERIMENTS.md were diagnosed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.runtime.runtime import AllScaleRuntime
+from dataclasses import dataclass
 
 
 @dataclass

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterator
+from typing import Any, Callable, Generator
 
 
 class Event:

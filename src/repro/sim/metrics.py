@@ -8,7 +8,7 @@ cheap enough to leave enabled in benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

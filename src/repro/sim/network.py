@@ -20,8 +20,7 @@ through the NIC busy timelines deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 from repro.sim.engine import Future, SimEngine
 from repro.sim.metrics import MetricRegistry

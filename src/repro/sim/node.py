@@ -10,7 +10,6 @@ effect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.sim.engine import Future, SimEngine
 from repro.sim.metrics import MetricRegistry

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.regions.box import Box, BoxSetRegion
 from repro.regions.explicit import ExplicitSetRegion
-from repro.regions.interval import Interval, IntervalRegion
+from repro.regions.interval import IntervalRegion
 from repro.regions.tree import TreeGeometry, TreeRegion
 from repro.regions.blocked_tree import BlockedTreeGeometry, BlockedTreeRegion
 

@@ -1,0 +1,215 @@
+"""AST lint tests: declared requirements vs. actual ``ctx`` accesses."""
+
+from repro.analysis import AnalysisConfig, analyze_task
+from repro.analysis.lint import lint_key, lint_spec
+from repro.api.pfor import pfor_task
+from repro.items.grid import Grid
+from repro.runtime.tasks import TaskSpec
+
+
+GRID = Grid((16,), name="g")
+OTHER = Grid((16,), name="h")
+
+
+def span(lo, hi, grid=GRID):
+    return grid.box((lo,), (hi,))
+
+
+def checks(findings):
+    return [f.check for f in findings]
+
+
+class TestUnderDeclaration:
+    def test_undeclared_item_is_error(self):
+        def body(ctx):
+            return ctx.fragment(OTHER).gather(span(0, 4, OTHER))
+
+        spec = TaskSpec(name="t", writes={GRID: span(0, 8)}, body=body)
+        findings = lint_spec(spec)
+        by_check = {f.check: f for f in findings}
+        assert by_check["lint.undeclared_item"].severity == "error"
+        assert by_check["lint.undeclared_item"].item == "h"
+
+    def test_undeclared_write_is_error(self):
+        def body(ctx):
+            ctx.fragment(GRID).scatter(span(0, 4), 1.0)
+
+        spec = TaskSpec(name="t", reads={GRID: span(0, 8)}, body=body)
+        assert checks(lint_spec(spec)) == ["lint.undeclared_write"]
+
+    def test_read_of_write_only_is_warning(self):
+        def body(ctx):
+            return ctx.fragment(GRID).gather(span(0, 4))
+
+        spec = TaskSpec(name="t", writes={GRID: span(0, 8)}, body=body)
+        findings = lint_spec(spec)
+        assert checks(findings) == ["lint.undeclared_read"]
+        assert findings[0].severity == "warning"
+
+    def test_matching_declaration_is_clean(self):
+        def body(ctx):
+            values = ctx.fragment(GRID).gather(span(0, 4))
+            ctx.fragment(GRID).scatter(span(0, 4), values)
+
+        spec = TaskSpec(
+            name="t",
+            reads={GRID: span(0, 4)},
+            writes={GRID: span(0, 4)},
+            body=body,
+        )
+        assert lint_spec(spec) == []
+
+
+class TestOverDeclaration:
+    def test_unused_requirement_is_warning(self):
+        def body(ctx):
+            return ctx.fragment(GRID).gather(span(0, 4))
+
+        spec = TaskSpec(
+            name="t",
+            reads={GRID: span(0, 4), OTHER: span(0, 4, OTHER)},
+            body=body,
+        )
+        findings = lint_spec(spec)
+        assert checks(findings) == ["lint.unused_requirement"]
+        assert findings[0].item == "h"
+
+    def test_empty_declared_region_not_flagged(self):
+        def body(ctx):
+            return ctx.fragment(GRID).gather(span(0, 4))
+
+        spec = TaskSpec(
+            name="t",
+            reads={GRID: span(0, 4), OTHER: OTHER.empty_region()},
+            body=body,
+        )
+        assert lint_spec(spec) == []
+
+    def test_opaque_ctx_suppresses_over_declaration(self):
+        def helper(ctx):
+            return ctx.fragment(GRID).gather(span(0, 4))
+
+        def body(ctx):
+            return helper(ctx)
+
+        spec = TaskSpec(name="t", reads={GRID: span(0, 4)}, body=body)
+        # ctx escapes into helper(); the lint cannot see inside, so it
+        # must not claim the requirement is unused
+        assert lint_spec(spec) == []
+
+
+class TestResolution:
+    def test_alias_tracking(self):
+        def body(ctx):
+            fragment = ctx.fragment(GRID)
+            fragment.scatter(span(0, 4), 0.0)
+
+        spec = TaskSpec(name="t", reads={GRID: span(0, 4)}, body=body)
+        assert checks(lint_spec(spec)) == ["lint.undeclared_write"]
+
+    def test_lambda_in_call_expression(self):
+        spec = TaskSpec(
+            name="t",
+            writes={GRID: span(0, 8)},
+            body=(lambda ctx: ctx.fragment(GRID).scatter(span(0, 8), 1.0)),
+        )
+        assert lint_spec(spec) == []
+
+    def test_default_argument_resolution(self):
+        spec = TaskSpec(
+            name="t",
+            writes={GRID: span(0, 8)},
+            body=(lambda ctx, g=GRID: ctx.fragment(g).scatter(span(0, 8), 1)),
+        )
+        assert lint_spec(spec) == []
+
+    def test_cost_stub_skipped(self):
+        # bodies never touching ctx (virtual-mode cost stubs) are exempt,
+        # whatever they declare
+        spec = TaskSpec(
+            name="t",
+            reads={GRID: span(0, 8)},
+            body=(lambda ctx, v=3: v),
+        )
+        assert lint_spec(spec) == []
+
+    def test_builtin_body_reports_no_source(self):
+        spec = TaskSpec(name="t", body=len, writes={GRID: span(0, 4)})
+        findings = lint_spec(spec)
+        assert checks(findings) == ["lint.no_source"]
+        assert findings[0].severity == "info"
+
+    def test_unresolvable_argument_reports_info(self):
+        def body(ctx):
+            return ctx.fragment(pick_item()).gather(span(0, 4))
+
+        def pick_item():
+            return GRID
+
+        spec = TaskSpec(name="t", reads={GRID: span(0, 4)}, body=body)
+        findings = lint_spec(spec)
+        assert checks(findings) == ["lint.unresolvable"]
+        assert "pick_item()" in findings[0].message
+
+    def test_origin_body_preferred_over_wrapper(self):
+        def kernel(ctx, box):
+            ctx.fragment(OTHER).scatter(span(0, 2, OTHER), 0.0)
+
+        def wrapper(ctx):
+            return kernel(ctx, None)
+
+        spec = TaskSpec(
+            name="t",
+            writes={GRID: span(0, 8)},
+            body=wrapper,
+            origin_body=kernel,
+        )
+        found = checks(lint_spec(spec))
+        assert "lint.undeclared_item" in found
+
+
+class TestLintKey:
+    def test_same_kernel_same_items_share_key(self):
+        def kernel(ctx, box):
+            return ctx.fragment(GRID).gather(box)
+
+        a = TaskSpec(name="a", reads={GRID: span(0, 4)}, origin_body=kernel)
+        b = TaskSpec(name="b", reads={GRID: span(4, 8)}, origin_body=kernel)
+        assert lint_key(a) == lint_key(b)
+
+    def test_different_items_differ(self):
+        def kernel(ctx, box):
+            return ctx.fragment(GRID).gather(box)
+
+        a = TaskSpec(name="a", reads={GRID: span(0, 4)}, origin_body=kernel)
+        b = TaskSpec(name="b", reads={OTHER: span(0, 4, OTHER)}, origin_body=kernel)
+        assert lint_key(a) != lint_key(b)
+
+    def test_unlintable_is_none(self):
+        assert lint_key(TaskSpec(name="t")) is None
+
+
+class TestPforIntegration:
+    def test_undeclared_access_in_point_kernel_caught(self):
+        task = pfor_task(
+            (0,),
+            (16,),
+            point_kernel=lambda ctx, coord: ctx.fragment(GRID).get(coord),
+            writes=lambda box: {OTHER: OTHER.box(box.lo, box.hi)},
+            granularity=4.0,
+        )
+        report = analyze_task(task, AnalysisConfig(max_depth=2))
+        assert "lint.undeclared_item" in {f.check for f in report.errors}
+
+    def test_declared_point_kernel_clean(self):
+        task = pfor_task(
+            (0,),
+            (16,),
+            point_kernel=lambda ctx, coord: ctx.fragment(GRID).get(coord),
+            reads=lambda box: {GRID: GRID.box(box.lo, box.hi)},
+            granularity=4.0,
+        )
+        report = analyze_task(task, AnalysisConfig(max_depth=2))
+        assert report.clean
+        # one shared kernel: linted once despite several leaves
+        assert report.bodies_linted >= 1

@@ -1,6 +1,5 @@
 """Tests for the user-facing API: access derivation, prec, pfor."""
 
-import numpy as np
 import pytest
 
 from repro.api.access import (
@@ -10,7 +9,7 @@ from repro.api.access import (
     stencil_requirements,
 )
 from repro.api.pfor import pfor, pfor_task
-from repro.api.prec import PrecFunction, default_granularity, prec
+from repro.api.prec import default_granularity, prec
 from repro.items.grid import Grid
 from repro.regions.box import Box
 from repro.runtime.config import RuntimeConfig

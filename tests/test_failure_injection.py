@@ -5,7 +5,6 @@ misbehaviour under resource pressure is how distributed systems corrupt
 results.
 """
 
-import numpy as np
 import pytest
 
 from repro.items.grid import Grid

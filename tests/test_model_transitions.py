@@ -7,7 +7,7 @@ from repro.model.actions import Create, End, Spawn, Sync
 from repro.model.architecture import distributed_cluster
 from repro.model.elements import DataItemDecl
 from repro.model.state import initial_state
-from repro.model.task import AccessSpec, Program, simple_task
+from repro.model.task import AccessSpec, simple_task
 from repro.regions.interval import IntervalRegion
 
 

@@ -15,7 +15,7 @@ from repro.model.architecture import distributed_cluster
 from repro.model.elements import DataItemDecl
 from repro.model.interpreter import Interpreter, InterpreterConfig
 from repro.model.state import initial_state
-from repro.model.task import AccessSpec, Program, simple_task
+from repro.model.task import AccessSpec, simple_task
 from repro.model.values import CoherenceViolation, VersionTracker
 from repro.regions.interval import IntervalRegion
 

@@ -1,9 +1,7 @@
 """Tests for the simulated MPI substrate: p2p, collectives, halo exchange."""
 
-import numpy as np
 import pytest
 
-from repro.mpi.comm import MpiWorld
 from repro.mpi.halo import exchange_step, plan_halo_exchange
 from repro.mpi.program import run_spmd
 from repro.regions.box import Box, grid_block_decomposition

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.items.grid import Grid
-from repro.regions.box import Box
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.locks import LockTable
 from repro.runtime.policies import (

@@ -1,6 +1,5 @@
 """Tests for barrier-free task dependency chaining (``submit(after=...)``)."""
 
-import pytest
 
 from repro.items.grid import Grid
 from repro.regions.box import Box

@@ -1,6 +1,5 @@
 """Tests for origin-side index lookup caching (§6 gap-closing extension)."""
 
-import pytest
 
 from repro.apps.tpc import TPCWorkload, make_problem, tpc_allscale
 from repro.items.graph import PartitionedGraph

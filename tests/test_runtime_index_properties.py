@@ -6,7 +6,6 @@ every lookup must return exactly the intersection of the request with the
 true ownership map — regardless of origin.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.items.grid import Grid

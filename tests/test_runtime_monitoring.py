@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.items.grid import Grid
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.monitoring import Monitor
 from repro.runtime.runtime import AllScaleRuntime

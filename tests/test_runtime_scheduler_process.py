@@ -1,6 +1,5 @@
 """Tests for Algorithm 2 scheduling tiers, fork-join execution, stealing."""
 
-import pytest
 
 from repro.items.grid import Grid
 from repro.runtime.config import RuntimeConfig

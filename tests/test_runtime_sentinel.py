@@ -18,7 +18,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.items.grid import Grid
-from repro.regions.box import Box
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.locks import _Hold
 from repro.runtime.resilience import ResilienceManager

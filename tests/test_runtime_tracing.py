@@ -1,6 +1,5 @@
 """Tests for the per-task execution tracer."""
 
-import pytest
 
 from repro.api import box_region, pfor
 from repro.items.grid import Grid

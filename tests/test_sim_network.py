@@ -62,7 +62,7 @@ class TestNetwork:
         engine, network = self.make()
         cfg = network.config
         nbytes = 1_000_000
-        future = network.send(0, 1, nbytes)
+        network.send(0, 1, nbytes)
         engine.run()
         expected = (
             cfg.send_overhead
@@ -89,7 +89,6 @@ class TestNetwork:
 
     def test_disjoint_senders_run_in_parallel(self):
         engine, network = self.make()
-        cfg = network.config
         network.send(0, 1, 10_000_000)
         network.send(2, 3, 10_000_000)
         engine.run()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.cluster import Cluster, ClusterSpec, meggie_like_spec
 from repro.sim.engine import SimEngine
-from repro.sim.metrics import MetricRegistry, Stat
+from repro.sim.metrics import MetricRegistry
 from repro.sim.node import MemoryExhaustedError, SimNode
 
 
