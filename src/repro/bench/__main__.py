@@ -64,6 +64,14 @@ def main(argv: list[str] | None = None) -> int:
         help="directory to write CSV files into",
     )
     parser.add_argument(
+        "--comms",
+        action="store_true",
+        help="run the communication-layer panel: each app with transfer "
+        "coalescing + replica prefetch off vs. on, reporting message "
+        "counts, bytes, and wall-clock deltas (non-zero exit if the "
+        "optimised run changes computed outputs or moved bytes)",
+    )
+    parser.add_argument(
         "--sentinel",
         action="store_true",
         help="re-run each panel with the runtime invariant sentinel "
@@ -91,6 +99,26 @@ def main(argv: list[str] | None = None) -> int:
         wanted = {"table1", *PANELS}
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+
+    if args.comms:
+        from repro.bench.comms import comms_panel, comms_to_json, render_comms
+
+        started = time.perf_counter()
+        points = comms_panel(quick=args.quick, smoke=args.smoke)
+        elapsed = time.perf_counter() - started
+        print(render_comms(points))
+        print(f"(regenerated in {elapsed:.1f}s wall time)")
+        print()
+        if args.out is not None:
+            path = args.out / "comms.json"
+            path.write_text(comms_to_json(points))
+            print(f"wrote {path}")
+            print()
+        if not all(p.outputs_identical for p in points):
+            print("comms: optimised run changed outputs or moved bytes")
+            return 1
+        if not (args.artifacts or args.sentinel or args.analyze):
+            return 0
 
     if "table1" in wanted:
         print(render_table1(table1()))

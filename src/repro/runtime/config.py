@@ -43,6 +43,21 @@ class RuntimeConfig:
     #: gap"; off by default to match the paper's prototype)
     index_caching: bool = False
 
+    # -- communication layer (coalescing & prefetch; bench --comms) -------------
+    #: coalesce per-peer transfers into bulk messages: all pieces a staging
+    #: pass needs from one peer travel as one FragmentPayload, sibling
+    #: tasks of one split share one index lookup and one parcel per
+    #: destination.  Off by default to match the paper's prototype — the
+    #: same movement happens, message by message
+    comm_coalescing: bool = False
+    #: at assign time, fetch a task's remote read-only pieces concurrently
+    #: (single fan-out, all_of join) so the transfers overlap dispatch;
+    #: identical bytes move either way, earlier
+    replica_prefetch: bool = False
+    #: LRU bound on the replicated bytes tracked per process (None =
+    #: unbounded; eviction goes through the comms.* metered replica cache)
+    replica_cache_bytes: float | None = None
+
     # -- scheduling policy -------------------------------------------------------
     #: target number of leaf tasks per core (oversubscription factor)
     oversubscription: int = 4
@@ -65,3 +80,5 @@ class RuntimeConfig:
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        if self.replica_cache_bytes is not None and self.replica_cache_bytes <= 0:
+            raise ValueError("replica_cache_bytes must be positive or None")

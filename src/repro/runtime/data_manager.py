@@ -23,14 +23,19 @@ and node cores, so data management overhead shows up in benchmark time.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Generator
 
 from repro.items.base import DataItem, Fragment, FragmentPayload
 from repro.regions.base import Region
 from repro.runtime.tasks import TaskSpec
+from repro.runtime.transfers import ReplicaCache, TransferPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.process import RuntimeProcess
+
+#: finished transfer plans kept per process for audits and property tests
+PLAN_LOG_LIMIT = 128
 
 
 class DataItemManager:
@@ -44,6 +49,16 @@ class DataItemManager:
         # still on the wire; tasks must not touch them until they land
         self._in_flight: dict[DataItem, Region] = {}
         self._in_flight_waiters: list = []
+        # replica regions some fetch already put on the wire towards this
+        # process; concurrent stagers wait instead of fetching them again,
+        # so each element travels at most once per demand epoch whether or
+        # not coalescing is enabled
+        self._fetching: dict[DataItem, Region] = {}
+        self._fetching_waiters: list = []
+        self.replica_cache = ReplicaCache(
+            self, process.runtime.config.replica_cache_bytes
+        )
+        self.plan_log: deque[TransferPlan] = deque(maxlen=PLAN_LOG_LIMIT)
 
     # -- basic views --------------------------------------------------------------
 
@@ -92,6 +107,28 @@ class DataItemManager:
         self._in_flight_waiters.append(future)
         return future
 
+    def fetching_region(self, item: DataItem) -> Region:
+        region = self._fetching.get(item)
+        return region if region is not None else item.empty_region()
+
+    def _mark_fetching(self, item: DataItem, region: Region) -> None:
+        self._fetching[item] = self.fetching_region(item).union(region)
+
+    def _clear_fetching(self, item: DataItem, region: Region) -> None:
+        remaining = self.fetching_region(item).difference(region)
+        if remaining.is_empty():
+            self._fetching.pop(item, None)
+        else:
+            self._fetching[item] = remaining
+        waiters, self._fetching_waiters = self._fetching_waiters, []
+        for waiter in waiters:
+            waiter.complete(None)
+
+    def _fetching_change(self):
+        future = self.process.runtime.engine.future()
+        self._fetching_waiters.append(future)
+        return future
+
     # -- ownership changes (synchronous bookkeeping) --------------------------------
 
     def allocate(self, item: DataItem, region: Region) -> None:
@@ -123,6 +160,7 @@ class DataItemManager:
         # a local replica of an unowned region (e.g. orphaned by a node
         # failure) may be claimed here: it is now owned, not replicated
         runtime.unregister_replica(item, self.pid, region)
+        self.replica_cache.note_dropped(item, region)
         runtime.index.update_ownership(item, self.pid, self.owned[item])
         runtime.metrics.incr("dm.allocations")
         runtime.metrics.incr("dm.allocated_bytes", added_bytes)
@@ -154,6 +192,7 @@ class DataItemManager:
         self.owned[item] = self.owned_region(item).union(payload.region)
         # data this process previously held as a replica is now owned here
         runtime.unregister_replica(item, self.pid, payload.region)
+        self.replica_cache.note_dropped(item, payload.region)
         runtime.index.update_ownership(item, self.pid, self.owned[item])
         runtime.metrics.incr("dm.imports")
 
@@ -182,6 +221,7 @@ class DataItemManager:
         fragment.resize(fragment.region.difference(victim))
         self.process.node.free(item.region_bytes(victim))
         self.process.runtime.unregister_replica(item, self.pid, victim)
+        self.replica_cache.note_dropped(item, victim)
         self.process.runtime.metrics.incr("dm.replicas_dropped")
 
     # -- requirement satisfaction (simulation processes) --------------------------------
@@ -221,27 +261,54 @@ class DataItemManager:
         The write set ends up owned here exclusively; the read set is at
         least replicated here.  Drives migrations, replications, replica
         invalidations and allocations; completes when the *start* rule's
-        data premises hold locally.
+        data premises hold locally.  Every pass builds a
+        :class:`~repro.runtime.transfers.TransferPlan` so planned bytes
+        can be audited against moved bytes.
         """
         runtime = self.process.runtime
+        plan = TransferPlan(dst=self.pid, purpose=task.name)
         for item in task.accessed_items_ordered():
             write = task.write_region(item)
             if not write.is_empty():
-                yield from self._acquire_ownership(item, write, task=task)
+                yield from self._acquire_ownership(
+                    item, write, task=task, plan=plan
+                )
                 # exclusive writes: no replicas of the write set elsewhere
                 yield from runtime.invalidate_replicas(item, write, self.pid)
             read = task.read_region(item)
+            if not read.is_empty():
+                reused = read.intersect(self.present_region(item)).difference(
+                    self.owned_region(item)
+                )
+                if not reused.is_empty():
+                    # read served from an already-present replica
+                    self.replica_cache.record_hit(item, reused)
+                    plan.record_hit(item, reused)
             missing = read.difference(self.present_region(item))
             if not missing.is_empty():
-                yield from self._fetch_replicas(item, missing, task=task)
+                self.replica_cache.record_miss(item, missing)
+                yield from self._fetch_replicas(
+                    item, missing, task=task, plan=plan
+                )
             # data whose ownership arrived but whose bytes are still on
             # the wire is not usable yet
             accessed = task.accessed_region(item)
             while self.in_flight_region(item).overlaps(accessed):
                 yield self._in_flight_change()
+        self._finish_plan(plan)
+
+    def _finish_plan(self, plan: TransferPlan) -> None:
+        if not (plan.planned or plan.moved or plan.hits):
+            return
+        plan.finish(self.process.runtime)
+        self.plan_log.append(plan)
 
     def _acquire_ownership(
-        self, item: DataItem, region: Region, task: object = None
+        self,
+        item: DataItem,
+        region: Region,
+        task: object = None,
+        plan: TransferPlan | None = None,
     ) -> Generator:
         runtime = self.process.runtime
         cfg = runtime.config
@@ -259,11 +326,30 @@ class DataItemManager:
             mapping, unresolved = yield from runtime.index.lookup(
                 item, missing, self.pid
             )
-            for part, owner in mapping:
-                if owner == self.pid:
-                    # owned locally but not recorded? (lost race) — re-check
-                    continue
-                yield from self._migrate_in(item, part, owner)
+            if cfg.comm_coalescing:
+                # all pieces owned by one peer move as one migration
+                grouped: dict[int, Region] = {}
+                for part, owner in mapping:
+                    if owner == self.pid:
+                        continue
+                    current = grouped.get(owner)
+                    grouped[owner] = (
+                        part if current is None else current.union(part)
+                    )
+                for owner in sorted(grouped):
+                    if plan is not None:
+                        plan.plan(item, grouped[owner], owner, "migrate")
+                    yield from self._migrate_in(
+                        item, grouped[owner], owner, plan=plan
+                    )
+            else:
+                for part, owner in mapping:
+                    if owner == self.pid:
+                        # owned locally but not recorded? (lost race) — re-check
+                        continue
+                    if plan is not None:
+                        plan.plan(item, part, owner, "migrate")
+                    yield from self._migrate_in(item, part, owner, plan=plan)
             if not unresolved.is_empty():
                 # present nowhere: first-touch allocation (init rule).
                 # Allocate at fragment granularity — the whole not-yet-
@@ -278,8 +364,18 @@ class DataItemManager:
                     )
                     uninitialized = homes[self.pid].difference(top)
                     grab = grab.union(uninitialized)
+                if plan is not None:
+                    plan.plan(item, unresolved, self.pid, "allocate")
                 yield self.process.node.execute(cfg.fragment_op_overhead)
+                before = self.owned_region(item)
                 self.allocate(item, grab)
+                if plan is not None:
+                    gained = (
+                        self.owned_region(item)
+                        .difference(before)
+                        .intersect(unresolved)
+                    )
+                    plan.record_moved(item, gained, self.pid, "allocate", 0)
         missing = region.difference(self.owned_region(item))
         if not missing.is_empty():
             raise RuntimeError(
@@ -288,7 +384,13 @@ class DataItemManager:
                 "repeated attempts (ownership thrashing?)"
             )
 
-    def _migrate_in(self, item: DataItem, region: Region, src: int) -> Generator:
+    def _migrate_in(
+        self,
+        item: DataItem,
+        region: Region,
+        src: int,
+        plan: TransferPlan | None = None,
+    ) -> Generator:
         """One migration transfer: request, wait for locks, move bytes.
 
         Ownership is handed over *atomically* at export time (before the
@@ -316,6 +418,7 @@ class DataItemManager:
         # atomic handover: ownership (and the index) move now
         self.owned[item] = self.owned_region(item).union(payload.region)
         runtime.unregister_replica(item, self.pid, payload.region)
+        self.replica_cache.note_dropped(item, payload.region)
         runtime.index.update_ownership(item, self.pid, self.owned[item])
         self._mark_in_flight(item, payload.region)
         try:
@@ -326,6 +429,10 @@ class DataItemManager:
             self._clear_in_flight(item, payload.region)
         runtime.metrics.incr("dm.migrations")
         runtime.metrics.incr("dm.migrated_bytes", payload.nbytes)
+        if plan is not None:
+            plan.record_moved(
+                item, payload.region, src, "migrate", payload.nbytes
+            )
 
     def _store_payload(self, item: DataItem, payload: FragmentPayload) -> None:
         """Splice arrived bytes into the fragment (ownership already here)."""
@@ -339,13 +446,17 @@ class DataItemManager:
         runtime.metrics.incr("dm.imports")
 
     def _fetch_replicas(
-        self, item: DataItem, missing: Region, task: object = None
+        self,
+        item: DataItem,
+        missing: Region,
+        task: object = None,
+        plan: TransferPlan | None = None,
     ) -> Generator:
         runtime = self.process.runtime
         cfg = runtime.config
-        network = runtime.network
+        want = missing
         for _attempt in range(5):
-            missing = missing.difference(self.present_region(item))
+            missing = want.difference(self.present_region(item))
             if missing.is_empty():
                 return
             # a staging writer invalidates replicas of its write set as
@@ -353,51 +464,250 @@ class DataItemManager:
             # rather than burning retry attempts against it
             while runtime.write_intent_blocked(item, missing, task):
                 yield runtime.intent_change()
-            missing = missing.difference(self.present_region(item))
+            missing = want.difference(self.present_region(item))
             if missing.is_empty():
                 return
-            mapping, unresolved = yield from runtime.index.lookup(
-                item, missing, self.pid
-            )
-            for part, owner in mapping:
-                if owner == self.pid:
-                    continue
-                peer = runtime.process(owner)
-                yield network.send(self.pid, owner, cfg.control_message_bytes)
-                # (replicate) guard: no *write* locks at the source, and the
-                # source's bytes must have physically arrived
-                while peer.locks.write_locked(item, part):
-                    yield peer.locks.wait_for_change()
-                while peer.data_manager.in_flight_region(item).overlaps(part):
-                    yield peer.data_manager._in_flight_change()
-                # the data may have moved away while we waited; take what
-                # is still there and retry for the rest
-                part = part.intersect(
-                    peer.data_manager.present_region(item)
+            # fetch dedup: whoever marked an overlapping region already
+            # has those bytes on the wire towards this process — wait for
+            # them to land instead of moving the same elements twice
+            while self.fetching_region(item).overlaps(missing):
+                yield self._fetching_change()
+                missing = want.difference(self.present_region(item))
+                if missing.is_empty():
+                    return
+            self._mark_fetching(item, missing)
+            try:
+                mapping, unresolved = yield from runtime.index.lookup(
+                    item, missing, self.pid
                 )
-                if part.is_empty():
-                    continue
-                yield peer.node.execute(cfg.fragment_op_overhead)
-                payload = peer.data_manager.fragment(item).extract(part)
-                yield network.send(owner, self.pid, max(1, payload.nbytes))
-                yield self.process.node.execute(cfg.fragment_op_overhead)
-                self.insert_replica(item, payload)
-                runtime.metrics.incr("dm.replicated_bytes", payload.nbytes)
-            if not unresolved.is_empty():
-                # reading data never written nor initialized: surface it as
-                # a zero-initialized first touch.  allocate() claims
-                # atomically; anything claimed elsewhere meanwhile is
-                # re-fetched on the next attempt.
-                yield self.process.node.execute(cfg.fragment_op_overhead)
-                self.allocate(item, unresolved)
-                runtime.metrics.incr("dm.uninitialized_reads")
-        missing = missing.difference(self.present_region(item))
+                if cfg.comm_coalescing:
+                    yield from self._replicate_coalesced(item, mapping, plan)
+                else:
+                    yield from self._replicate_sequential(item, mapping, plan)
+                if not unresolved.is_empty():
+                    # reading data never written nor initialized: surface it
+                    # as a zero-initialized first touch.  allocate() claims
+                    # atomically; anything claimed elsewhere meanwhile is
+                    # re-fetched on the next attempt.
+                    if plan is not None:
+                        plan.plan(item, unresolved, self.pid, "allocate")
+                    yield self.process.node.execute(cfg.fragment_op_overhead)
+                    before = self.owned_region(item)
+                    self.allocate(item, unresolved)
+                    if plan is not None:
+                        gained = (
+                            self.owned_region(item)
+                            .difference(before)
+                            .intersect(unresolved)
+                        )
+                        plan.record_moved(
+                            item, gained, self.pid, "allocate", 0
+                        )
+                    runtime.metrics.incr("dm.uninitialized_reads")
+            finally:
+                self._clear_fetching(item, missing)
+        missing = want.difference(self.present_region(item))
         if not missing.is_empty():
             raise RuntimeError(
                 f"process {self.pid} could not materialize "
                 f"{missing.size()} read elements of {item.name!r} after "
                 "repeated attempts (ownership thrashing?)"
             )
+
+    def _replicate_sequential(
+        self,
+        item: DataItem,
+        mapping: list[tuple[Region, int]],
+        plan: TransferPlan | None,
+    ) -> Generator:
+        """The paper-prototype path: one request + one payload per piece."""
+        runtime = self.process.runtime
+        cfg = runtime.config
+        network = runtime.network
+        for part, owner in mapping:
+            if owner == self.pid:
+                continue
+            if plan is not None:
+                plan.plan(item, part, owner, "replicate")
+            peer = runtime.process(owner)
+            yield network.send(self.pid, owner, cfg.control_message_bytes)
+            # (replicate) guard: no *write* locks at the source, and the
+            # source's bytes must have physically arrived
+            while peer.locks.write_locked(item, part):
+                yield peer.locks.wait_for_change()
+            while peer.data_manager.in_flight_region(item).overlaps(part):
+                yield peer.data_manager._in_flight_change()
+            # the data may have moved away while we waited; take what
+            # is still there and retry for the rest
+            part = part.intersect(
+                peer.data_manager.present_region(item)
+            )
+            if part.is_empty():
+                continue
+            yield peer.node.execute(cfg.fragment_op_overhead)
+            payload = peer.data_manager.fragment(item).extract(part)
+            yield network.send(owner, self.pid, max(1, payload.nbytes))
+            yield self.process.node.execute(cfg.fragment_op_overhead)
+            self.insert_replica(item, payload)
+            self.replica_cache.note_fetched(item, payload.region)
+            runtime.metrics.incr("dm.replicated_bytes", payload.nbytes)
+            if plan is not None:
+                plan.record_moved(
+                    item, payload.region, owner, "replicate", payload.nbytes
+                )
+
+    def _replicate_coalesced(
+        self,
+        item: DataItem,
+        mapping: list[tuple[Region, int]],
+        plan: TransferPlan | None,
+    ) -> Generator:
+        """The coalescing path: one bulk fetch per owning peer, all peers
+        in parallel (single fan-out, ``all_of`` join)."""
+        runtime = self.process.runtime
+        grouped: dict[int, list[Region]] = {}
+        for part, owner in mapping:
+            if owner == self.pid:
+                continue
+            grouped.setdefault(owner, []).append(part)
+        if not grouped:
+            return
+        engine = runtime.engine
+        fetchers = [
+            engine.spawn(
+                self._fetch_bulk_from_peer(item, grouped[owner], owner, plan)
+            )
+            for owner in sorted(grouped)
+        ]
+        yield engine.all_of(fetchers)
+
+    def _fetch_bulk_from_peer(
+        self,
+        item: DataItem,
+        parts: list[Region],
+        owner: int,
+        plan: TransferPlan | None,
+    ) -> Generator:
+        """One coalesced replica fetch: every piece a peer owns for us,
+        one control request, one bulk payload charged once on the NIC."""
+        runtime = self.process.runtime
+        cfg = runtime.config
+        network = runtime.network
+        peer = runtime.process(owner)
+        region = parts[0]
+        for part in parts[1:]:
+            region = region.union(part)
+        if plan is not None:
+            plan.plan(item, region, owner, "replicate")
+        yield network.send(self.pid, owner, cfg.control_message_bytes)
+        # (replicate) guard over the whole coalesced region
+        while peer.locks.write_locked(item, region):
+            yield peer.locks.wait_for_change()
+        while peer.data_manager.in_flight_region(item).overlaps(region):
+            yield peer.data_manager._in_flight_change()
+        pieces = []
+        for part in parts:
+            still = part.intersect(peer.data_manager.present_region(item))
+            if not still.is_empty():
+                pieces.append(still)
+        if not pieces:
+            return
+        union = pieces[0]
+        for piece in pieces[1:]:
+            union = union.union(piece)
+        yield peer.node.execute(cfg.fragment_op_overhead)
+        payload = peer.data_manager.fragment(item).extract(union)
+        sizes = [item.region_bytes(piece) for piece in pieces]
+        if runtime.sentinel is not None:
+            runtime.sentinel.on_coalesced_transfer(
+                owner, self.pid, item, payload, pieces, sizes
+            )
+        yield network.send_bulk(
+            owner, self.pid, sizes if payload.nbytes else [1]
+        )
+        yield self.process.node.execute(cfg.fragment_op_overhead)
+        self.insert_replica(item, payload)
+        self.replica_cache.note_fetched(item, payload.region)
+        runtime.metrics.incr("dm.replicated_bytes", payload.nbytes)
+        runtime.metrics.incr("comms.coalesced_fetches")
+        runtime.metrics.incr("comms.coalesced_parts", len(pieces))
+        if plan is not None:
+            plan.record_moved(
+                item, payload.region, owner, "replicate", payload.nbytes
+            )
+
+    # -- replica prefetch (scheduler-initiated) ----------------------------------------
+
+    def prefetch_for_task(
+        self, task: TaskSpec, lookup: dict[DataItem, list[tuple[Region, int]]]
+    ) -> None:
+        """Fire-and-forget prefetch of ``task``'s remote read-only pieces.
+
+        Launched by the scheduler right after placement, reusing the
+        Algorithm-1 lookup it already charged, so the transfers overlap
+        the task's dispatch instead of serializing into its staging loop.
+        """
+        self.process.runtime.engine.spawn(self._prefetch(task, lookup))
+
+    def _prefetch(
+        self, task: TaskSpec, lookup: dict[DataItem, list[tuple[Region, int]]]
+    ) -> Generator:
+        runtime = self.process.runtime
+        engine = runtime.engine
+        plan = TransferPlan(dst=self.pid, purpose=f"prefetch:{task.name}")
+        fetchers = []
+        marked: list[tuple[DataItem, Region]] = []
+        for item in task.accessed_items_ordered():
+            readonly = task.read_region(item).difference(
+                task.write_region(item)
+            )
+            if readonly.is_empty():
+                continue
+            missing = (
+                readonly.difference(self.present_region(item))
+                .difference(self.fetching_region(item))
+                .difference(self.in_flight_region(item))
+            )
+            if missing.is_empty():
+                continue
+            # don't race a staging writer for the same bytes: the copy
+            # would be invalidated before the task arrives, and staging
+            # re-fetches whatever is still missing anyway
+            if runtime.write_intent_blocked(item, missing, None):
+                continue
+            grouped: dict[int, list[Region]] = {}
+            for part, owner in lookup.get(item, ()):
+                if owner == self.pid:
+                    continue
+                wanted = part.intersect(missing)
+                if not wanted.is_empty():
+                    grouped.setdefault(owner, []).append(wanted)
+            if not grouped:
+                continue
+            covered = item.empty_region()
+            for pieces in grouped.values():
+                for piece in pieces:
+                    covered = covered.union(piece)
+            self._mark_fetching(item, covered)
+            marked.append((item, covered))
+            for owner in sorted(grouped):
+                fetchers.append(
+                    engine.spawn(
+                        self._fetch_bulk_from_peer(
+                            item, grouped[owner], owner, plan
+                        )
+                    )
+                )
+        if not fetchers:
+            return
+        runtime.metrics.incr("comms.prefetches")
+        try:
+            yield engine.all_of(fetchers)
+        finally:
+            for item, covered in marked:
+                self._clear_fetching(item, covered)
+        runtime.metrics.incr("comms.prefetched_bytes", plan.moved_bytes())
+        self._finish_plan(plan)
 
     def __repr__(self) -> str:
         return (

@@ -97,6 +97,11 @@ class HierarchicalIndex:
     def owned_region(self, item: DataItem, process: int) -> Region:
         return self.covered(item, 1, process)
 
+    def ownership_version(self, item: DataItem) -> int:
+        """Monotone per-item ownership epoch (bumped on every applied
+        update); replica-cache entries and lookup caches tag with it."""
+        return self._version.get(item, 0)
+
     def update_ownership(
         self, item: DataItem, process: int, new_region: Region
     ) -> None:
@@ -212,6 +217,7 @@ class HierarchicalIndex:
                 region = region.difference(found)
             return mapping, region
         host = self.host_of(level, root)
+        descents: list[tuple[int, Region]] = []
         for child_root in self.children_of(level, root):
             if child_root == exclude_child or child_root >= self.num_processes:
                 continue
@@ -219,25 +225,46 @@ class HierarchicalIndex:
             overlap = region.intersect(child_cover)
             if overlap.is_empty():
                 continue
-            child_host = self.host_of(level - 1, child_root)
-            if child_host != host:
-                self.lookup_hops += 1
-                yield self.network.send(
-                    host, child_host, self.control_message_bytes
-                )
-            part, _ = yield from self._resolve(
-                item, overlap, level - 1, child_root, exclude_child=None
-            )
-            if child_host != host:
-                self.lookup_hops += 1
-                yield self.network.send(
-                    child_host, host, self.control_message_bytes
-                )
-            mapping.extend(part)
+            descents.append((child_root, overlap))
             region = region.difference(overlap)
-            if region.is_empty():
-                break
+        if len(descents) == 1:
+            child_root, overlap = descents[0]
+            part = yield from self._descend(item, overlap, level, host, child_root)
+            mapping.extend(part)
+        elif descents:
+            # both children hold parts of the request: a distributed
+            # implementation sends both RESOLVE messages at once and
+            # joins the replies, so the sub-resolutions run concurrently
+            # (hop accounting is identical either way; child covers are
+            # disjoint, so the answers cannot overlap)
+            engine = self.network.engine
+            parts = yield engine.all_of(
+                [
+                    engine.spawn(
+                        self._descend(item, overlap, level, host, child_root)
+                    )
+                    for child_root, overlap in descents
+                ]
+            )
+            for part in parts:
+                mapping.extend(part)
         return mapping, region
+
+    def _descend(
+        self, item: DataItem, overlap: Region, level: int, host: int, child_root: int
+    ) -> Generator:
+        """One charged round trip into a child node's sub-resolution."""
+        child_host = self.host_of(level - 1, child_root)
+        if child_host != host:
+            self.lookup_hops += 1
+            yield self.network.send(host, child_host, self.control_message_bytes)
+        part, _ = yield from self._resolve(
+            item, overlap, level - 1, child_root, exclude_child=None
+        )
+        if child_host != host:
+            self.lookup_hops += 1
+            yield self.network.send(child_host, host, self.control_message_bytes)
+        return part
 
     # -- origin-side lookup caching (a §6 "closing the gap" optimization) -----------
 

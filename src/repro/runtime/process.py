@@ -127,10 +127,17 @@ class RuntimeProcess:
                 yield self.node.execute(
                     cfg.task_spawn_overhead * len(children)
                 )
-                child_treetures = [
-                    self.runtime.scheduler.assign(child, origin=self.pid)
-                    for child in children
-                ]
+                if cfg.comm_coalescing and len(children) > 1:
+                    # co-scheduled siblings: one shared lookup, task
+                    # parcels coalesced per destination
+                    child_treetures = self.runtime.scheduler.assign_batch(
+                        children, origin=self.pid
+                    )
+                else:
+                    child_treetures = [
+                        self.runtime.scheduler.assign(child, origin=self.pid)
+                        for child in children
+                    ]
                 # a suspended parent occupies no core: free the slot before
                 # awaiting children, or recursive fork-join would exhaust
                 # all slots with waiting parents and deadlock

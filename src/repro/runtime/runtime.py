@@ -402,6 +402,27 @@ class AllScaleRuntime:
     def now(self) -> float:
         return self.engine.now
 
+    # -- communication-layer introspection ---------------------------------------------
+
+    def transfer_plans(self) -> list:
+        """Finished transfer plans across all processes (audit window).
+
+        Each data manager keeps its most recent plans in a bounded log;
+        the static analyzer, sentinel tests, and property tests compare
+        their planned against their moved bytes.
+        """
+        plans = []
+        for process in self.processes:
+            plans.extend(process.data_manager.plan_log)
+        return plans
+
+    def data_bytes_moved(self) -> int:
+        """Total payload bytes that crossed address spaces so far."""
+        return int(
+            self.metrics.counter("dm.migrated_bytes")
+            + self.metrics.counter("dm.replicated_bytes")
+        )
+
     # -- invariants (test support) ----------------------------------------------------------
 
     def check_ownership_invariants(self) -> None:

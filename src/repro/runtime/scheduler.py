@@ -61,6 +61,25 @@ class Scheduler:
             runtime.engine.spawn(self._assign_process(task, treeture, origin))
         return treeture
 
+    def assign_batch(
+        self, tasks: list[TaskSpec], origin: int = 0
+    ) -> list[Treeture]:
+        """Co-schedule sibling tasks of one split as a batch.
+
+        One charged Algorithm-1 lookup resolves the *union* of every
+        sibling's accessed regions per item, each task is placed from its
+        clip of that shared mapping (element-identical to a per-task
+        lookup, so placement matches :meth:`assign`), and the task parcels
+        travelling to the same destination coalesce into one bulk message.
+        Returns the treetures in task order.
+        """
+        runtime = self.runtime
+        treetures = [Treeture(runtime.engine, task.name) for task in tasks]
+        runtime.engine.spawn(
+            self._assign_batch_process(list(tasks), treetures, origin)
+        )
+        return treetures
+
     # -- ASSIGN_TO_NODE ------------------------------------------------------------
 
     def _assign_process(
@@ -71,9 +90,128 @@ class Scheduler:
         variant = runtime.policy.pick_variant(task, runtime)
 
         lookup: dict[DataItem, list[tuple[Region, int]]] = {}
-        target: int | None = None
         if task.accessed_items():
             lookup = yield from self._locate_requirements(task, origin)
+        target = self._choose_target(task, lookup, origin)
+
+        if target != origin:
+            runtime.metrics.incr("sched.remote_dispatch")
+            # closure serialization at the origin, parcel decode at the
+            # target — the per-remote-task CPU cost of the prototype
+            yield runtime.process(origin).node.execute(
+                cfg.remote_task_cpu_overhead
+            )
+            yield runtime.network.send(origin, target, cfg.task_message_bytes)
+            yield runtime.process(target).node.execute(
+                cfg.remote_task_cpu_overhead
+            )
+            self._maybe_prefetch(task, target, variant, lookup)
+            inner = self._remote_treeture(task, target, origin, treeture)
+            runtime.process(target).enqueue(task, inner, variant)
+        else:
+            runtime.metrics.incr("sched.local_dispatch")
+            self._maybe_prefetch(task, target, variant, lookup)
+            runtime.process(target).enqueue(task, treeture, variant)
+
+    def _assign_batch_process(
+        self, tasks: list[TaskSpec], treetures: list[Treeture], origin: int
+    ) -> Generator:
+        runtime = self.runtime
+        index = runtime.index
+        resolve = (
+            index.lookup_cached
+            if runtime.config.index_caching
+            else index.lookup
+        )
+        # one charged lookup per item over the union of sibling regions
+        union: dict[DataItem, Region] = {}
+        order: list[DataItem] = []
+        for task in tasks:
+            for item in task.accessed_items_ordered():
+                region = task.accessed_region(item)
+                if item not in union:
+                    union[item] = region
+                    order.append(item)
+                else:
+                    union[item] = union[item].union(region)
+        shared: dict[DataItem, list[tuple[Region, int]]] = {}
+        for item in order:
+            mapping, _unresolved = yield from resolve(
+                item, union[item], origin
+            )
+            shared[item] = mapping
+        # place each sibling from its clip of the shared mapping, then
+        # group the dispatches by destination
+        groups: dict[int, list] = {}
+        for task, treeture in zip(tasks, treetures):
+            variant = runtime.policy.pick_variant(task, runtime)
+            lookup: dict[DataItem, list[tuple[Region, int]]] = {}
+            for item in task.accessed_items_ordered():
+                region = task.accessed_region(item)
+                pieces = []
+                for part, owner in shared.get(item, ()):
+                    overlap = part.intersect(region)
+                    if not overlap.is_empty():
+                        pieces.append((overlap, owner))
+                lookup[item] = pieces
+            target = self._choose_target(task, lookup, origin)
+            groups.setdefault(target, []).append(
+                (task, treeture, variant, lookup)
+            )
+        dispatchers = [
+            runtime.engine.spawn(
+                self._dispatch_group(target, groups[target], origin)
+            )
+            for target in sorted(groups)
+        ]
+        if dispatchers:
+            yield runtime.engine.all_of(dispatchers)
+
+    def _dispatch_group(
+        self, target: int, entries: list, origin: int
+    ) -> Generator:
+        """Ship one batch's tasks bound for one destination: the parcels
+        coalesce into a single bulk message, charged once on the NIC."""
+        runtime = self.runtime
+        cfg = runtime.config
+        if target != origin:
+            runtime.metrics.incr("sched.remote_dispatch", len(entries))
+            runtime.metrics.incr("comms.batched_dispatches")
+            runtime.metrics.incr("comms.batched_tasks", len(entries))
+            # store-and-forward: every closure serializes before the bulk
+            # parcel leaves, and the receiver's progress thread decodes
+            # (and enqueues) the constituents one by one — per-task CPU
+            # costs are unchanged, only the wire messages merge
+            for _ in entries:
+                yield runtime.process(origin).node.execute(
+                    cfg.remote_task_cpu_overhead
+                )
+            yield runtime.network.send_bulk(
+                origin, target, [cfg.task_message_bytes] * len(entries)
+            )
+            for task, treeture, variant, lookup in entries:
+                yield runtime.process(target).node.execute(
+                    cfg.remote_task_cpu_overhead
+                )
+                self._maybe_prefetch(task, target, variant, lookup)
+                inner = self._remote_treeture(task, target, origin, treeture)
+                runtime.process(target).enqueue(task, inner, variant)
+        else:
+            for task, treeture, variant, lookup in entries:
+                runtime.metrics.incr("sched.local_dispatch")
+                self._maybe_prefetch(task, target, variant, lookup)
+                runtime.process(target).enqueue(task, treeture, variant)
+
+    def _choose_target(
+        self,
+        task: TaskSpec,
+        lookup: dict[DataItem, list[tuple[Region, int]]],
+        origin: int,
+    ) -> int:
+        """Algorithm 2's placement cascade over an already-charged lookup."""
+        runtime = self.runtime
+        target: int | None = None
+        if lookup:
             # per-item owner shares are built once and reused by both
             # coverage passes (Algorithm 2 lines 4 and 7)
             shares = {
@@ -90,33 +228,42 @@ class Scheduler:
             raise ValueError(
                 f"policy chose invalid target {target} for {task.name!r}"
             )
-        target = runtime._redirect_if_failed(target)
+        return runtime._redirect_if_failed(target)
 
-        if target != origin:
-            runtime.metrics.incr("sched.remote_dispatch")
-            # closure serialization at the origin, parcel decode at the
-            # target — the per-remote-task CPU cost of the prototype
-            yield runtime.process(origin).node.execute(
-                cfg.remote_task_cpu_overhead
+    def _remote_treeture(
+        self, task: TaskSpec, target: int, origin: int, treeture: Treeture
+    ) -> Treeture:
+        """Inner treeture whose completion travels back as a notification."""
+        runtime = self.runtime
+        inner = Treeture(runtime.engine, task.name)
+
+        def forward(value: Any) -> None:
+            notify = runtime.network.send(
+                target, origin, runtime.config.completion_message_bytes
             )
-            yield runtime.network.send(origin, target, cfg.task_message_bytes)
-            yield runtime.process(target).node.execute(
-                cfg.remote_task_cpu_overhead
-            )
-            # completion travels back to the origin as a notification
-            inner = Treeture(runtime.engine, task.name)
+            notify.add_callback(lambda _at: treeture.complete(value))
 
-            def forward(value: Any) -> None:
-                notify = runtime.network.send(
-                    target, origin, cfg.completion_message_bytes
-                )
-                notify.add_callback(lambda _at: treeture.complete(value))
+        inner.then(forward)
+        return inner
 
-            inner.then(forward)
-            runtime.process(target).enqueue(task, inner, variant)
-        else:
-            runtime.metrics.incr("sched.local_dispatch")
-            runtime.process(target).enqueue(task, treeture, variant)
+    def _maybe_prefetch(
+        self,
+        task: TaskSpec,
+        target: int,
+        variant: str,
+        lookup: dict[DataItem, list[tuple[Region, int]]],
+    ) -> None:
+        """Kick off replica prefetch at the target for a leaf task.
+
+        Reuses the placement lookup, so no extra index traffic; split
+        tasks are skipped — their children run elsewhere.
+        """
+        runtime = self.runtime
+        if not runtime.config.replica_prefetch or variant == "split":
+            return
+        if not lookup:
+            return
+        runtime.process(target).data_manager.prefetch_for_task(task, lookup)
 
     # -- coverage from one charged lookup -----------------------------------------------
 

@@ -71,7 +71,7 @@ class Violation:
     #: which invariant failed: ``single_execution``, ``satisfied_requirements``,
     #: ``exclusive_writes``, ``lock_table_race``, ``data_preservation``,
     #: ``payload_bytes``, ``index_coherence``, ``replica_coherence``,
-    #: ``termination``
+    #: ``transfer_plan``, ``termination``
     check: str
     message: str
     #: simulated time at which the violation was observed
@@ -528,6 +528,100 @@ class RuntimeSentinel:
                 region=payload.region,
                 task=self._active_tasks(pid),
             )
+
+    def on_coalesced_transfer(
+        self,
+        src: int,
+        dst: int,
+        item: DataItem,
+        payload: FragmentPayload,
+        pieces: list,
+        sizes: list[int],
+    ) -> None:
+        """Byte preservation over a coalesced bulk payload.
+
+        The constituent pieces must be pairwise disjoint, their union must
+        be exactly the payload's region, and the per-piece byte sizes must
+        sum to the payload's bytes — i.e. coalescing moved the very same
+        elements the individual messages would have, once each.
+        """
+        self._check()
+        union = item.empty_region()
+        for i, piece in enumerate(pieces):
+            if union.overlaps(piece):
+                self._report(
+                    "payload_bytes",
+                    f"coalesced transfer {src}->{dst} carries overlapping "
+                    "constituent pieces",
+                    item=item,
+                    region=union.intersect(piece),
+                )
+            union = union.union(piece)
+            expected = item.region_bytes(piece)
+            if i < len(sizes) and sizes[i] != expected:
+                self._report(
+                    "payload_bytes",
+                    f"coalesced transfer {src}->{dst} accounts {sizes[i]} "
+                    f"bytes for a {expected}-byte constituent",
+                    item=item,
+                    region=piece,
+                )
+        if not union.same_elements(payload.region):
+            self._report(
+                "payload_bytes",
+                f"coalesced transfer {src}->{dst} payload region is not the "
+                "union of its constituent pieces",
+                item=item,
+                region=union.difference(payload.region).union(
+                    payload.region.difference(union)
+                ),
+            )
+        expected_total = item.region_bytes(payload.region)
+        if sum(sizes) != expected_total or payload.nbytes != expected_total:
+            self._report(
+                "payload_bytes",
+                f"coalesced transfer {src}->{dst} carries {payload.nbytes} "
+                f"payload bytes billed as {sum(sizes)} for a "
+                f"{expected_total}-byte region",
+                item=item,
+                region=payload.region,
+            )
+
+    def on_plan_finished(self, plan) -> None:
+        """Audit a finished transfer plan: moved ⊆ planned, bytes honest.
+
+        Re-fetches (the same elements moved twice within one plan, e.g.
+        after a competing writer invalidated a fresh replica) are legal
+        and surface as ``comms.refetched_bytes`` — only movement that was
+        never planned at all, or misaccounted bytes, is a violation.
+        """
+        for step in plan.moved:
+            if step.kind == "allocate":
+                continue
+            self._check()
+            expected = step.item.region_bytes(step.region)
+            if step.nbytes != expected:
+                self._report(
+                    "transfer_plan",
+                    f"plan {plan.purpose!r} recorded {step.nbytes} bytes "
+                    f"moved for a {expected}-byte region",
+                    item=step.item,
+                    region=step.region,
+                    task=plan.purpose,
+                )
+        for item in plan.items():
+            self._check()
+            stray = plan.moved_region(item).difference(
+                plan.planned_region(item)
+            )
+            if not stray.is_empty():
+                self._report(
+                    "transfer_plan",
+                    f"plan {plan.purpose!r} moved data it never planned",
+                    item=item,
+                    region=stray,
+                    task=plan.purpose,
+                )
 
     def on_ownership_update(self, item: DataItem, pid: int, region) -> None:
         """Index/data-manager leaf coherence at every ownership change."""

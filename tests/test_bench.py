@@ -1,5 +1,8 @@
 """Tests for the benchmark harness, reporting, and Table 1 regeneration."""
 
+import json
+import pathlib
+
 import pytest
 
 from repro.apps.common import AppResult
@@ -122,3 +125,128 @@ class TestReports:
         assert lines[0] == "app,metric,nodes,allscale,mpi,linear"
         assert len(lines) == 3
         assert lines[1].startswith("x,u/s,1,100.0,120.0")
+
+
+class TestCommsPoint:
+    def make_point(self, **overrides):
+        from repro.bench.comms import CommsPoint
+
+        values = dict(
+            app="x",
+            nodes=4,
+            messages_off=1000.0,
+            messages_on=600.0,
+            net_bytes_off=5000.0,
+            net_bytes_on=4000.0,
+            data_bytes_off=2048.0,
+            data_bytes_on=2048.0,
+            work_off=10.0,
+            work_on=10.0,
+            elapsed_off=2.0,
+            elapsed_on=1.5,
+        )
+        values.update(overrides)
+        return CommsPoint(**values)
+
+    def test_message_reduction(self):
+        assert self.make_point().message_reduction == pytest.approx(0.4)
+        zero = self.make_point(messages_off=0.0, messages_on=0.0)
+        assert zero.message_reduction == 0.0
+
+    def test_elapsed_delta(self):
+        assert self.make_point().elapsed_delta == pytest.approx(-0.25)
+        zero = self.make_point(elapsed_off=0.0)
+        assert zero.elapsed_delta == 0.0
+
+    def test_outputs_identical(self):
+        assert self.make_point().outputs_identical
+        assert not self.make_point(work_on=11.0).outputs_identical
+        assert not self.make_point(data_bytes_on=1.0).outputs_identical
+
+    def test_to_row_shape(self):
+        row = self.make_point().to_row()
+        assert row["message_reduction"] == 0.4
+        assert row["outputs_identical"] is True
+        assert row["counters"] == {}
+
+    def test_render_and_json(self):
+        from repro.bench.comms import comms_to_json, render_comms
+
+        points = [self.make_point()]
+        text = render_comms(points)
+        assert "+40.0%" in text and "yes" in text
+        payload = json.loads(comms_to_json(points))
+        assert payload["apps"]["x"]["messages_on"] == 600.0
+
+
+class TestCommsBaseline:
+    """The committed comms panel must keep its schema and its promises."""
+
+    ROW_KEYS = {
+        "app",
+        "nodes",
+        "messages_off",
+        "messages_on",
+        "message_reduction",
+        "net_bytes_off",
+        "net_bytes_on",
+        "data_bytes_off",
+        "data_bytes_on",
+        "work_off",
+        "work_on",
+        "elapsed_off",
+        "elapsed_on",
+        "elapsed_delta",
+        "outputs_identical",
+        "counters",
+    }
+
+    @pytest.fixture
+    def baseline(self):
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "BENCH_comms_baseline.json"
+        )
+        return json.loads(path.read_text())
+
+    def test_schema_pinned(self, baseline):
+        from repro.bench.comms import COMMS_NODE_COUNT, COMMS_SCHEMA_VERSION
+
+        assert baseline["schema"] == COMMS_SCHEMA_VERSION
+        assert baseline["nodes"] == COMMS_NODE_COUNT
+        assert set(baseline["apps"]) == {"stencil", "ipic3d", "tpc"}
+        for row in baseline["apps"].values():
+            assert set(row) == self.ROW_KEYS
+
+    def test_counters_pinned(self, baseline):
+        from repro.bench.comms import _ON_COUNTERS
+
+        for row in baseline["apps"].values():
+            assert set(row["counters"]) == set(_ON_COUNTERS)
+
+    def test_outputs_identical_everywhere(self, baseline):
+        for row in baseline["apps"].values():
+            assert row["outputs_identical"] is True
+            assert row["data_bytes_off"] == row["data_bytes_on"]
+            assert row["work_off"] == row["work_on"]
+
+    def test_message_reduction_targets(self, baseline):
+        # the acceptance bar: >= 30% fewer messages on the TPC panel,
+        # and every app must see a material reduction
+        assert baseline["apps"]["tpc"]["message_reduction"] >= 0.30
+        for row in baseline["apps"].values():
+            assert row["message_reduction"] >= 0.25
+
+    def test_comms_layer_actually_engaged(self, baseline):
+        for row in baseline["apps"].values():
+            counters = row["counters"]
+            assert counters["net.bulk_messages"] > 0
+            if row["data_bytes_off"]:
+                # apps that move payload do it through audited plans;
+                # TPC's kd-tree is pre-placed, so its win is pure
+                # dispatch batching and it never opens a plan
+                assert counters["comms.plans"] > 0
+                assert (
+                    counters["comms.moved_bytes"] == row["data_bytes_on"]
+                )
+            assert counters["comms.batched_dispatches"] > 0

@@ -120,3 +120,78 @@ class TestNetwork:
             NetworkConfig(bandwidth=0)
         with pytest.raises(ValueError):
             NetworkConfig(base_latency=-1)
+        with pytest.raises(ValueError):
+            NetworkConfig(send_overhead=-1e-9)
+
+
+class TestSendBulk:
+    make = TestNetwork.make
+
+    def test_counts_one_message_many_parts(self):
+        engine, network = self.make()
+        network.send_bulk(0, 1, [100, 200, 300])
+        engine.run()
+        assert network.metrics.counter("net.bulk_messages") == 1
+        assert network.metrics.counter("net.bulk_parts") == 3
+        assert network.metrics.counter("net.messages") == 1
+        assert network.metrics.counter("net.bytes") == 600
+
+    def test_costs_sum_of_sizes_once(self):
+        engine, network = self.make()
+        future = network.send_bulk(0, 1, [250_000, 750_000])
+        engine.run()
+        assert future.done
+        assert engine.now == pytest.approx(
+            network.transfer_time_estimate(0, 1, 1_000_000)
+        )
+
+    def test_zero_byte_constituents(self):
+        engine, network = self.make()
+        future = network.send_bulk(0, 1, [0, 0, 0])
+        engine.run()
+        assert future.done
+        assert network.metrics.counter("net.bulk_parts") == 3
+        assert network.metrics.counter("net.bytes") == 0
+        # still a real message: overhead and latency are charged
+        assert engine.now == pytest.approx(
+            network.transfer_time_estimate(0, 1, 0)
+        )
+
+    def test_loopback_bulk_short_circuits(self):
+        engine, network = self.make()
+        future = network.send_bulk(0, 0, [1_000_000, 1_000_000])
+        engine.run()
+        assert future.done
+        assert engine.now == pytest.approx(network.config.loopback_overhead)
+        assert network.metrics.counter("net.bulk_messages") == 1
+
+    def test_cost_at_least_largest_constituent(self):
+        # a bulk message can never beat sending just its largest part ...
+        _, network = self.make()
+        sizes = [10, 500_000, 3_000, 0]
+        bulk = network.transfer_time_estimate(0, 1, sum(sizes))
+        largest = network.transfer_time_estimate(0, 1, max(sizes))
+        assert bulk >= largest
+        # ... but always beats sending the parts as separate messages
+        separate = sum(
+            network.transfer_time_estimate(0, 1, nbytes) for nbytes in sizes
+        )
+        assert bulk < separate
+
+    def test_empty_bulk_rejected(self):
+        _, network = self.make()
+        with pytest.raises(ValueError):
+            network.send_bulk(0, 1, [])
+
+    def test_negative_constituent_rejected(self):
+        _, network = self.make()
+        with pytest.raises(ValueError):
+            network.send_bulk(0, 1, [100, -1])
+        # the failed validation must not leak metric increments
+        assert network.metrics.counter("net.bulk_messages") == 0
+
+    def test_generator_sizes_accepted(self):
+        engine, network = self.make()
+        network.send_bulk(0, 1, (n for n in (100, 200)))
+        engine.run()
+        assert network.metrics.counter("net.bulk_parts") == 2

@@ -1,0 +1,327 @@
+"""Unit tests for transfer plans and the replica cache."""
+
+import numpy as np
+import pytest
+
+from repro.items.grid import Grid
+from repro.regions.box import Box
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
+from repro.runtime.transfers import TransferPlan, plan_for_task
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+def make_runtime(nodes=2, **config):
+    cluster = Cluster(
+        ClusterSpec(num_nodes=nodes, cores_per_node=2, flops_per_core=1e9)
+    )
+    return AllScaleRuntime(cluster, RuntimeConfig(**config))
+
+
+def run_task(runtime, task):
+    return runtime.wait(runtime.submit(task))
+
+
+class TestTransferPlan:
+    def test_plan_dedups_elements(self):
+        grid = Grid((8, 8), name="g")
+        plan = TransferPlan(dst=0)
+        first = plan.plan(grid, grid.box((0, 0), (4, 8)), src=1, kind="replicate")
+        assert first.same_elements(grid.box((0, 0), (4, 8)))
+        # overlapping second intent only contributes the fresh elements
+        second = plan.plan(grid, grid.box((2, 0), (6, 8)), src=1, kind="replicate")
+        assert second.same_elements(grid.box((4, 0), (6, 8)))
+        assert plan.planned_region(grid).same_elements(
+            grid.box((0, 0), (6, 8))
+        )
+        # fully covered intent plans nothing
+        third = plan.plan(grid, grid.box((1, 1), (3, 3)), src=1, kind="replicate")
+        assert third.is_empty()
+        assert len(plan.planned) == 2
+
+    def test_planned_bytes_skip_allocations(self):
+        grid = Grid((8, 8), name="g")
+        plan = TransferPlan(dst=0)
+        plan.plan(grid, grid.box((0, 0), (4, 8)), src=1, kind="replicate")
+        plan.plan(grid, grid.box((4, 0), (8, 8)), src=0, kind="allocate")
+        assert plan.planned_bytes() == grid.region_bytes(
+            grid.box((0, 0), (4, 8))
+        )
+
+    def test_moved_and_refetched_regions(self):
+        grid = Grid((8, 8), name="g")
+        plan = TransferPlan(dst=0)
+        region = grid.box((0, 0), (4, 8))
+        nbytes = grid.region_bytes(region)
+        plan.record_moved(grid, region, src=1, kind="replicate", nbytes=nbytes)
+        assert plan.moved_region(grid).same_elements(region)
+        assert plan.refetched_region(grid).is_empty()
+        assert plan.refetched_bytes() == 0
+        # the same elements travelling again count as refetched ...
+        plan.record_moved(grid, region, src=1, kind="replicate", nbytes=nbytes)
+        assert plan.refetched_region(grid).same_elements(region)
+        assert plan.refetched_bytes() == nbytes
+        # ... but allocations never do (they move no payload)
+        plan2 = TransferPlan(dst=0)
+        plan2.record_moved(grid, region, src=0, kind="allocate", nbytes=0)
+        plan2.record_moved(grid, region, src=1, kind="replicate", nbytes=nbytes)
+        assert plan2.refetched_region(grid).is_empty()
+
+    def test_empty_records_ignored(self):
+        grid = Grid((8, 8), name="g")
+        plan = TransferPlan(dst=0)
+        plan.record_moved(grid, grid.empty_region(), 1, "replicate", 0)
+        plan.record_hit(grid, grid.empty_region())
+        assert not plan.moved and not plan.hits
+        assert plan.items() == []
+
+    def test_hit_region_accumulates(self):
+        grid = Grid((8, 8), name="g")
+        plan = TransferPlan(dst=0)
+        plan.record_hit(grid, grid.box((0, 0), (2, 8)))
+        plan.record_hit(grid, grid.box((2, 0), (4, 8)))
+        assert plan.hit_region(grid).same_elements(grid.box((0, 0), (4, 8)))
+
+    def test_finish_publishes_metrics_once(self):
+        runtime = make_runtime()
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid)
+        plan = TransferPlan(dst=0, purpose="test")
+        region = grid.box((0, 0), (4, 8))
+        plan.plan(grid, region, src=1, kind="replicate")
+        plan.record_moved(
+            grid, region, 1, "replicate", grid.region_bytes(region)
+        )
+        plan.finish(runtime)
+        plan.finish(runtime)  # idempotent
+        assert runtime.metrics.counter("comms.plans") == 1
+        assert runtime.metrics.counter("comms.planned_bytes") == plan.planned_bytes()
+        assert runtime.metrics.counter("comms.moved_bytes") == plan.moved_bytes()
+        assert runtime.metrics.counter("comms.refetched_bytes") == 0
+
+
+class TestPlanForTask:
+    def test_static_read_plan_replicates_remote_share(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        task = TaskSpec(
+            name="r", reads={grid: grid.full_region}, body=lambda ctx: None
+        )
+        plan = plan_for_task(task, runtime, target=0)
+        remote = runtime.index.owned_region(grid, 1)
+        assert plan.planned_region(grid).same_elements(remote)
+        assert {step.kind for step in plan.planned} == {"replicate"}
+        assert all(step.src == 1 for step in plan.planned)
+
+    def test_static_write_plan_migrates(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        task = TaskSpec(
+            name="w", writes={grid: grid.full_region}, body=lambda ctx: None
+        )
+        plan = plan_for_task(task, runtime, target=0)
+        kinds = {step.kind for step in plan.planned}
+        assert kinds == {"migrate"}
+
+    def test_static_plan_allocates_uninitialized(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid)  # nothing owned anywhere yet
+        task = TaskSpec(
+            name="w", writes={grid: grid.full_region}, body=lambda ctx: None
+        )
+        plan = plan_for_task(task, runtime, target=0)
+        assert {step.kind for step in plan.planned} == {"allocate"}
+        assert plan.planned_bytes() == 0
+
+    def test_static_plan_matches_executed_staging(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        placement = grid.decompose(2)
+        runtime.register_item(grid, placement=placement)
+        # the write pins placement at process 0 (Algorithm 2 line 7), so
+        # the static audit and the executed staging share a target
+        task = TaskSpec(
+            name="r",
+            reads={grid: grid.full_region},
+            writes={grid: placement[0]},
+            body=lambda ctx: None,
+            size_hint=1,
+        )
+        static = plan_for_task(task, runtime, target=0)
+        run_task(runtime, task)
+        executed = [
+            plan for plan in runtime.transfer_plans() if plan.purpose == "r"
+        ]
+        assert executed
+        moved = grid.empty_region()
+        for plan in executed:
+            moved = moved.union(plan.moved_region(grid))
+        assert static.planned_region(grid).difference(moved).is_empty()
+
+
+class TestReplicaCache:
+    def replicate(self, runtime, grid, region, target=0):
+        """Fetch a read replica of ``region`` into ``target`` directly."""
+        manager = runtime.process(target).data_manager
+        runtime.engine.spawn(manager._fetch_replicas(grid, region))
+        runtime.run()
+
+    def test_note_fetched_tracks_only_replicas(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        manager = runtime.process(0).data_manager
+        cache = manager.replica_cache
+        # owned bytes are not replicas: nothing to track
+        cache.note_fetched(grid, manager.owned_region(grid))
+        assert cache.tracked_bytes() == 0
+
+    def test_fetch_then_drop(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        self.replicate(runtime, grid, grid.full_region, target=0)
+        manager = runtime.process(0).data_manager
+        cache = manager.replica_cache
+        replica = manager.replica_region(grid)
+        assert not replica.is_empty()
+        assert cache.tracked_bytes(grid) == grid.region_bytes(replica)
+        half = cache.entries(grid)[0].region
+        manager.drop_replica(grid, half)
+        assert cache.tracked_bytes(grid) == grid.region_bytes(
+            replica.difference(half)
+        )
+
+    def pinned_reader(self, grid, placement, name):
+        """A task pinned at process 0 whose read spans the remote half."""
+        return TaskSpec(
+            name=name,
+            reads={grid: grid.full_region},
+            writes={grid: placement[0]},
+            body=lambda ctx: None,
+            size_hint=1,
+        )
+
+    def test_hit_and_miss_metrics(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        placement = grid.decompose(2)
+        runtime.register_item(grid, placement=placement)
+        remote = placement[1]
+        run_task(runtime, self.pinned_reader(grid, placement, "r1"))
+        misses = runtime.metrics.counter("comms.replica_misses")
+        assert misses >= 1
+        assert runtime.metrics.counter("comms.replica_miss_bytes") >= float(
+            grid.region_bytes(remote)
+        )
+        # second read of the same region is served from the replica
+        run_task(runtime, self.pinned_reader(grid, placement, "r2"))
+        assert runtime.metrics.counter("comms.replica_hits") >= 1
+        assert runtime.metrics.counter("comms.replica_misses") == misses
+        assert runtime.metrics.counter("comms.replica_hit_bytes") >= float(
+            grid.region_bytes(remote)
+        )
+
+    def test_revalidation_after_ownership_change(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        manager = runtime.process(0).data_manager
+        cache = manager.replica_cache
+        remote = runtime.index.owned_region(grid, 1)
+        self.replicate(runtime, grid, remote, target=0)
+        assert cache.entries(grid)
+        version = cache.entries(grid)[0].version
+        # bump the item's ownership epoch with an unrelated-item-safe
+        # no-payload change: re-register is not possible, so grow p1's
+        # leaf through the index directly
+        runtime.index.update_ownership(
+            grid, 1, runtime.index.owned_region(grid, 1)
+        )  # no-op: same elements, version unchanged
+        assert cache.entries(grid)[0].version == version
+        cache.record_hit(grid, remote)
+        assert runtime.metrics.counter("comms.replica_revalidations") == 0
+
+    def test_lru_eviction_respects_bound(self):
+        bound = 8 * 2 * 8  # room for one two-row strip of the grid
+        runtime = make_runtime(nodes=2, replica_cache_bytes=bound)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        manager = runtime.process(0).data_manager
+        cache = manager.replica_cache
+        assert cache.max_bytes == bound
+        # two strip fetches, each exactly at the bound: the second fetch
+        # must evict the by-then-cold first strip
+        first = grid.box((4, 0), (6, 8))
+        second = grid.box((6, 0), (8, 8))
+        self.replicate(runtime, grid, first, target=0)
+        assert cache.tracked_bytes() == grid.region_bytes(first)
+        self.replicate(runtime, grid, second, target=0)
+        assert runtime.metrics.counter("comms.replica_evictions") >= 1
+        assert runtime.metrics.counter(
+            "comms.replica_evicted_bytes"
+        ) == grid.region_bytes(first)
+        assert cache.tracked_bytes() <= bound
+        # the evicted replica bytes actually left the fragment
+        assert manager.replica_region(grid).same_elements(second)
+        runtime.check_ownership_invariants()
+
+    def test_eviction_skips_pinned_bytes(self):
+        bound = 16.0
+        runtime = make_runtime(nodes=2, replica_cache_bytes=bound)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        manager = runtime.process(0).data_manager
+        cache = manager.replica_cache
+        self.replicate(runtime, grid, runtime.index.owned_region(grid, 1))
+        replica = manager.replica_region(grid)
+        assert not replica.is_empty()
+        # pin everything via the fetch marker; a new over-budget entry
+        # must then survive (nothing evictable)
+        manager._mark_fetching(grid, replica)
+        try:
+            before = cache.tracked_bytes()
+            cache._evict(grid)
+            assert cache.tracked_bytes() == before
+        finally:
+            manager._clear_fetching(grid, replica)
+
+    def test_unbounded_cache_never_evicts(self):
+        runtime = make_runtime(nodes=2)  # replica_cache_bytes=None
+        grid = Grid((16, 16), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        self.replicate(runtime, grid, grid.full_region, target=0)
+        assert runtime.metrics.counter("comms.replica_evictions") == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(replica_cache_bytes=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(replica_cache_bytes=-5.0)
+        RuntimeConfig(replica_cache_bytes=None)
+        RuntimeConfig(replica_cache_bytes=1024.0)
+
+
+class TestPlanLog:
+    def test_runtime_collects_plans(self):
+        runtime = make_runtime(nodes=2)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid, placement=grid.decompose(2))
+        task = TaskSpec(
+            name="w",
+            writes={grid: grid.full_region},
+            body=lambda ctx: ctx.fragment(grid).scatter(
+                Box.of((0, 0), (8, 8)), np.ones((8, 8))
+            ),
+            size_hint=1,
+        )
+        run_task(runtime, task)
+        plans = runtime.transfer_plans()
+        assert plans
+        assert all(plan.finished for plan in plans)
+        moved = sum(plan.moved_bytes() for plan in plans)
+        assert moved == runtime.data_bytes_moved()
