@@ -72,6 +72,34 @@ def main(argv: list[str] | None = None) -> int:
         "optimised run changes computed outputs or moved bytes)",
     )
     parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="run the Fig. 7 weak-scaling sweep for all three apps "
+        "(full 1-64 nodes by default; --quick/--smoke shrink it) and "
+        "print per-app host timing",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="with --scaling: merge this run's section into "
+        "BENCH_scaling_baseline.json",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="with --scaling: compare against the committed baseline; "
+        "non-zero exit if any throughput value differs or wall clock "
+        "regresses >20%%",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="APP",
+        choices=sorted(PANELS),
+        default=None,
+        help="profile one panel under cProfile and print the top-20 "
+        "functions by cumulative time (quick mode unless --smoke)",
+    )
+    parser.add_argument(
         "--sentinel",
         action="store_true",
         help="re-run each panel with the runtime invariant sentinel "
@@ -99,6 +127,49 @@ def main(argv: list[str] | None = None) -> int:
         wanted = {"table1", *PANELS}
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        build = PANELS[args.profile]
+        quick = args.quick or not args.smoke
+        profiler = cProfile.Profile()
+        profiler.enable()
+        build(quick=quick, smoke=args.smoke)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        return 0
+
+    if args.scaling:
+        from repro.bench.scaling import (
+            check_panel,
+            load_baseline,
+            render_scaling_summary,
+            scaling_panel,
+            write_baseline,
+        )
+
+        panel = scaling_panel(quick=args.quick, smoke=args.smoke)
+        for series in panel.series.values():
+            print(render_series(series))
+            print()
+        print(render_scaling_summary(panel))
+        print()
+        if args.write_baseline:
+            path = write_baseline(panel)
+            print(f"wrote {path}")
+            print()
+        if args.check:
+            problems = check_panel(panel, load_baseline())
+            if problems:
+                for problem in problems:
+                    print(f"scaling check: {problem}")
+                return 1
+            print("scaling check: matches committed baseline")
+            print()
+        if not (args.artifacts or args.sentinel or args.analyze):
+            return 0
 
     if args.comms:
         from repro.bench.comms import comms_panel, comms_to_json, render_comms

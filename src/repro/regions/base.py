@@ -41,7 +41,10 @@ class Region(ABC):
     different region families.
     """
 
-    __slots__ = ()
+    #: interned id — ``None`` until the kernel interns this instance, then a
+    #: process-unique integer that marks it canonical and keys the memo
+    #: cache (see :class:`~repro.regions.kernel.RegionKernel`)
+    __slots__ = ("_rid",)
 
     # -- kernel-routed closure operations (Section 3.1 requirements) -------
 

@@ -89,6 +89,7 @@ class BlockedTreeRegion(Region):
             )
         self._geometry = geometry
         self._mask = mask
+        self._rid: int | None = None
 
     # -- constructors ---------------------------------------------------------
 

@@ -228,6 +228,7 @@ class BoxSetRegion(Region):
         self._boxes: tuple[Box, ...] = _canonical_boxes(live, dims or 0)
         self._dims = dims
         self._ckey: Hashable = None
+        self._rid: int | None = None
 
     @classmethod
     def empty(cls, dims: int | None = None) -> "BoxSetRegion":

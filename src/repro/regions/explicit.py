@@ -21,6 +21,7 @@ class ExplicitSetRegion(Region):
     def __init__(self, elements: Iterable[Any] = ()) -> None:
         self._elements = frozenset(elements)
         self._ckey: Hashable = None
+        self._rid: int | None = None
 
     @classmethod
     def empty(cls) -> "ExplicitSetRegion":

@@ -71,6 +71,7 @@ class IntervalRegion(Region):
         ]
         self._intervals = _normalize(coerced)
         self._ckey: Hashable = None
+        self._rid: int | None = None
 
     @classmethod
     def empty(cls) -> "IntervalRegion":

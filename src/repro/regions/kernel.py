@@ -14,13 +14,23 @@ paths run on:
   regions collapse to the same object, equality degenerates to identity,
   and hashing is O(1) after the first computation.
 
+* **Interned ids** — every representative carries a small, process-unique
+  integer id (``_rid``, assigned once at interning time and never
+  recycled).  The id does double duty: it marks a region as already
+  canonical, so re-interning is a single attribute check instead of a
+  ``cache_key``/hash/dict round trip, and it keys the memo-cache with a
+  flat ``(op, rid, rid)`` integer tuple — the O(1) fast path every hot
+  loop lands on once its operands have been seen once.
+
 * **Memoized algebra** — the binary closure operations (``union``,
   ``intersect``, ``difference``) and the derived predicates (``covers``,
-  ``overlaps``) are cached in a bounded LRU keyed by the *identities* of
-  the interned operands.  Cache entries keep strong references to both
-  operands, so an ``id()`` can never be recycled while its entry is live.
-  ``is_empty`` is O(1) on every canonical form and is therefore delegated
-  (and merely counted), not cached.
+  ``overlaps``) are cached in a plain dict keyed by interned ids.  Ids
+  are never reused, so entries can never alias; when the cache exceeds
+  its capacity the oldest half (insertion order) is dropped wholesale —
+  cheaper than per-hit LRU maintenance, which dominated profiles.
+  Same-family operations with an empty operand short-circuit without
+  touching the cache at all.  ``is_empty`` is O(1) on every canonical
+  form and is therefore delegated (and merely counted), not cached.
 
 * **Counters** — per-op hit/miss counters plus the intern count are
   exposed through :meth:`RegionKernel.stats` and surfaced as
@@ -35,15 +45,21 @@ kernel (and failed operations are never cached).
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import TYPE_CHECKING, Any, Hashable
+import itertools
+from typing import TYPE_CHECKING, Hashable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.regions.base import Region
 
-#: operations whose result does not depend on operand order; their cache
-#: keys are normalized (same-family operands only) to double the hit rate
-_SYMMETRIC_OPS = frozenset({"union", "intersect", "overlaps"})
+#: process-wide interned-id allocator: ids are unique across *all* kernel
+#: instances (and never recycled), so an id-keyed memo entry can never
+#: alias even when regions flow between kernels (tests build private ones)
+_RID_COUNTER = itertools.count(1)
+
+# opcodes for the memo-cache key tuples; kept as module constants so the
+# hot methods avoid any string hashing
+_UNION, _INTERSECT, _DIFFERENCE, _COVERS, _OVERLAPS = range(5)
+_OP_NAMES = ("union", "intersect", "difference", "covers", "overlaps")
 
 
 class RegionKernel:
@@ -57,24 +73,24 @@ class RegionKernel:
         "_hits",
         "_misses",
         "_interned_count",
-        "_delegated",
+        "_is_empty_calls",
     )
 
     def __init__(
-        self, intern_capacity: int = 1 << 16, op_capacity: int = 1 << 16
+        self, intern_capacity: int = 1 << 16, op_capacity: int = 1 << 17
     ) -> None:
         if intern_capacity < 1 or op_capacity < 1:
             raise ValueError("kernel capacities must be positive")
         self.intern_capacity = intern_capacity
         self.op_capacity = op_capacity
-        #: canonical key -> representative region instance (LRU-bounded)
-        self._interned: "OrderedDict[Hashable, Region]" = OrderedDict()
-        #: (op, id(a), id(b)) -> (a, b, result); operands are kept alive by
-        #: the entry itself so id-based keys can never alias
-        self._ops: "OrderedDict[tuple, tuple]" = OrderedDict()
-        self._hits: dict[str, int] = {}
-        self._misses: dict[str, int] = {}
-        self._delegated: dict[str, int] = {}
+        #: canonical key -> representative region instance (FIFO-bounded)
+        self._interned: dict[Hashable, "Region"] = {}
+        #: (op, rid(a), rid(b)) -> result; ids are never recycled, so the
+        #: key alone identifies the operands — no liveness guard needed
+        self._ops: dict[tuple[int, int, int], object] = {}
+        self._hits = [0, 0, 0, 0, 0]
+        self._misses = [0, 0, 0, 0, 0]
+        self._is_empty_calls = 0
         self._interned_count = 0
 
     # -- interning ------------------------------------------------------------
@@ -84,95 +100,172 @@ class RegionKernel:
 
         The first instance seen for a canonical key becomes the
         representative; later semantically-equal instances resolve to it.
+        An already-interned region (carrying an id) returns itself with a
+        single attribute check — no key computation, no table access.
         """
+        if region._rid is not None:
+            return region
         key = region.cache_key()
         table = self._interned
         rep = table.get(key)
         if rep is not None:
-            table.move_to_end(key)
             return rep
+        region._rid = next(_RID_COUNTER)
         table[key] = region
         self._interned_count += 1
         if len(table) > self.intern_capacity:
-            table.popitem(last=False)
+            # FIFO: drop the oldest representative.  Its id stays valid on
+            # the instance (live references keep working at full speed);
+            # only future duplicates re-intern to a fresh representative.
+            del table[next(iter(table))]
         return region
 
     # -- memoized binary algebra ------------------------------------------------
 
-    def _memoized(self, op: str, a: "Region", b: "Region") -> Any:
-        """Cache lookup / fill for one binary operation."""
-        a = self.intern(a)
-        b = self.intern(b)
-        if op in _SYMMETRIC_OPS and type(a) is type(b) and id(b) < id(a):
-            a, b = b, a
-        key = (op, id(a), id(b))
+    def _store(self, key: tuple[int, int, int], result: object) -> None:
         ops = self._ops
-        entry = ops.get(key)
-        if entry is not None and entry[0] is a and entry[1] is b:
-            self._hits[op] = self._hits.get(op, 0) + 1
-            ops.move_to_end(key)
-            return entry[2]
-        self._misses[op] = self._misses.get(op, 0) + 1
-        if op == "union":
-            result: Any = self.intern(a._union(b))
-        elif op == "intersect":
-            result = self.intern(a._intersect(b))
-        elif op == "difference":
-            result = self.intern(a._difference(b))
-        elif op == "covers":
-            result = a._covers(b)
-        elif op == "overlaps":
-            result = not self.intersect(a, b).is_empty()
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown region op {op!r}")
-        ops[key] = (a, b, result)
+        ops[key] = result
         if len(ops) > self.op_capacity:
-            ops.popitem(last=False)
-        return result
+            # drop the oldest (insertion-ordered) half wholesale; per-hit
+            # LRU reordering cost more than the misses it prevented
+            for stale in list(itertools.islice(iter(ops), len(ops) // 2)):
+                del ops[stale]
 
     def union(self, a: "Region", b: "Region") -> "Region":
+        if a._rid is None:
+            a = self.intern(a)
+        if b._rid is None:
+            b = self.intern(b)
         if a is b:
-            return self.intern(a)
-        return self._memoized("union", a, b)
+            return a
+        if type(a) is type(b):
+            if b._is_empty():
+                return a
+            if a._is_empty():
+                return b
+        ra = a._rid
+        rb = b._rid
+        if type(a) is type(b) and rb < ra:  # symmetric: normalize the key
+            a, b, ra, rb = b, a, rb, ra
+        key = (_UNION, ra, rb)
+        result = self._ops.get(key)
+        if result is not None:
+            self._hits[_UNION] += 1
+            return result  # type: ignore[return-value]
+        self._misses[_UNION] += 1
+        result = self.intern(a._union(b))
+        self._store(key, result)
+        return result  # type: ignore[return-value]
 
     def intersect(self, a: "Region", b: "Region") -> "Region":
+        if a._rid is None:
+            a = self.intern(a)
+        if b._rid is None:
+            b = self.intern(b)
         if a is b:
-            return self.intern(a)
-        return self._memoized("intersect", a, b)
+            return a
+        if type(a) is type(b):
+            if a._is_empty():
+                return a
+            if b._is_empty():
+                return b
+        ra = a._rid
+        rb = b._rid
+        if type(a) is type(b) and rb < ra:
+            a, b, ra, rb = b, a, rb, ra
+        key = (_INTERSECT, ra, rb)
+        result = self._ops.get(key)
+        if result is not None:
+            self._hits[_INTERSECT] += 1
+            return result  # type: ignore[return-value]
+        self._misses[_INTERSECT] += 1
+        result = self.intern(a._intersect(b))
+        self._store(key, result)
+        return result  # type: ignore[return-value]
 
     def difference(self, a: "Region", b: "Region") -> "Region":
-        return self._memoized("difference", a, b)
+        if type(a) is type(b) and (a._is_empty() or b._is_empty()):
+            return a if a._rid is not None else self.intern(a)
+        if a._rid is None:
+            a = self.intern(a)
+        if b._rid is None:
+            b = self.intern(b)
+        key = (_DIFFERENCE, a._rid, b._rid)
+        result = self._ops.get(key)
+        if result is not None:
+            self._hits[_DIFFERENCE] += 1
+            return result  # type: ignore[return-value]
+        self._misses[_DIFFERENCE] += 1
+        result = self.intern(a._difference(b))
+        self._store(key, result)
+        return result  # type: ignore[return-value]
 
     # -- memoized predicates ---------------------------------------------------
 
     def covers(self, a: "Region", b: "Region") -> bool:
         if a is b:
             return True
-        return self._memoized("covers", a, b)
+        if type(a) is type(b) and b._is_empty():
+            return True
+        if a._rid is None:
+            a = self.intern(a)
+        if b._rid is None:
+            b = self.intern(b)
+        if a is b:
+            return True
+        key = (_COVERS, a._rid, b._rid)
+        result = self._ops.get(key)
+        if result is not None:
+            self._hits[_COVERS] += 1
+            return result is True
+        self._misses[_COVERS] += 1
+        verdict = a._covers(b)
+        self._store(key, verdict)
+        return verdict
 
     def overlaps(self, a: "Region", b: "Region") -> bool:
         if a is b:
-            return not a.is_empty()
-        return self._memoized("overlaps", a, b)
+            return not a._is_empty()
+        if type(a) is type(b) and (a._is_empty() or b._is_empty()):
+            return False
+        if a._rid is None:
+            a = self.intern(a)
+        if b._rid is None:
+            b = self.intern(b)
+        if a is b:
+            return not a._is_empty()
+        ra = a._rid
+        rb = b._rid
+        if type(a) is type(b) and rb < ra:
+            a, b, ra, rb = b, a, rb, ra
+        key = (_OVERLAPS, ra, rb)
+        result = self._ops.get(key)
+        if result is not None:
+            self._hits[_OVERLAPS] += 1
+            return result is True
+        self._misses[_OVERLAPS] += 1
+        verdict = not self.intersect(a, b)._is_empty()
+        self._store(key, verdict)
+        return verdict
 
     def is_empty(self, a: "Region") -> bool:
         # O(1) on every canonical form; counted for completeness, not cached
-        self._delegated["is_empty"] = self._delegated.get("is_empty", 0) + 1
+        self._is_empty_calls += 1
         return a._is_empty()
 
     # -- introspection ---------------------------------------------------------
 
     @property
     def cache_hits(self) -> int:
-        return sum(self._hits.values())
+        return sum(self._hits)
 
     @property
     def cache_misses(self) -> int:
-        return sum(self._misses.values())
+        return sum(self._misses)
 
     @property
     def interned(self) -> int:
-        """Total regions interned (monotone; unaffected by LRU eviction)."""
+        """Total regions interned (monotone; unaffected by eviction)."""
         return self._interned_count
 
     @property
@@ -186,20 +279,27 @@ class RegionKernel:
             "region.cache_misses": self.cache_misses,
             "region.interned": self._interned_count,
         }
-        for op in sorted(set(self._hits) | set(self._misses)):
-            out[f"region.{op}.hits"] = self._hits.get(op, 0)
-            out[f"region.{op}.misses"] = self._misses.get(op, 0)
-        for op, count in sorted(self._delegated.items()):
-            out[f"region.{op}.calls"] = count
+        for code, op in enumerate(_OP_NAMES):
+            hits = self._hits[code]
+            misses = self._misses[code]
+            if hits or misses:
+                out[f"region.{op}.hits"] = hits
+                out[f"region.{op}.misses"] = misses
+        if self._is_empty_calls:
+            out["region.is_empty.calls"] = self._is_empty_calls
         return out
 
     def reset(self) -> None:
-        """Drop both tables and all counters (test isolation)."""
+        """Drop both tables and all counters (test isolation).
+
+        Already-issued interned ids stay valid on their instances — ids
+        are never recycled, so stale memo keys cannot alias after reset.
+        """
         self._interned.clear()
         self._ops.clear()
-        self._hits.clear()
-        self._misses.clear()
-        self._delegated.clear()
+        self._hits = [0, 0, 0, 0, 0]
+        self._misses = [0, 0, 0, 0, 0]
+        self._is_empty_calls = 0
         self._interned_count = 0
 
     def __repr__(self) -> str:

@@ -119,6 +119,7 @@ class TreeRegion(Region):
         self._marks = _canonical_marks(geometry, marks or {})
         self._key = frozenset(self._marks.items())
         self._ckey: Hashable = None
+        self._rid: int | None = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -231,6 +232,7 @@ class TreeRegion(Region):
         result._marks = marks
         result._key = frozenset(marks.items())
         result._ckey = None
+        result._rid = None
         return result
 
     def _union(self, other: Region) -> "TreeRegion":

@@ -273,7 +273,14 @@ class DataItemManager:
                 yield from self._acquire_ownership(
                     item, write, task=task, plan=plan
                 )
-                # exclusive writes: no replicas of the write set elsewhere
+                # exclusive writes: no replicas of the write set elsewhere.
+                # Defer to older stagers whose *read* premise overlaps the
+                # write first — invalidating replicas they are still
+                # fetching ping-pongs against their re-fetch forever.
+                while runtime.write_intent_blocked(
+                    item, write, task, against_reads=True
+                ):
+                    yield runtime.intent_change()
                 yield from runtime.invalidate_replicas(item, write, self.pid)
             read = task.read_region(item)
             if not read.is_empty():
@@ -317,8 +324,12 @@ class DataItemManager:
             if missing.is_empty():
                 return
             # defer to older staging writers instead of stealing their
-            # freshly migrated ownership back (livelock otherwise)
-            while runtime.write_intent_blocked(item, missing, task):
+            # freshly migrated ownership back (livelock otherwise); the
+            # read premise counts too — migrating ownership from under an
+            # older stager's read set disturbs what it already verified
+            while runtime.write_intent_blocked(
+                item, missing, task, against_reads=True
+            ):
                 yield runtime.intent_change()
             missing = region.difference(self.owned_region(item))
             if missing.is_empty():

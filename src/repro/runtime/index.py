@@ -61,7 +61,11 @@ class HierarchicalIndex:
         # lookup caches can validate their entries cheaply
         self._version: dict[DataItem, int] = {}
         # (origin, item) -> {"version", "pieces": [(region, pid)],
-        #                    "resolved": Region, "checked": Region}
+        #                    "resolved": Region, "checked": Region,
+        #                    "fast": {rid -> (mapping, unresolved)}}
+        # "fast" is the O(1) tier: repeated lookups of the *same interned*
+        # region within one ownership epoch return their answer by integer
+        # id, skipping the covers/intersect/difference chain entirely
         self._lookup_cache: dict[tuple[int, DataItem], dict] = {}
         self.cache_hits = 0
         self.cache_misses = 0
@@ -282,20 +286,31 @@ class HierarchicalIndex:
         workloads like TPC.
         """
         version = self._version.get(item, 0)
+        if region._rid is None:
+            region = region.interned()
         key = (origin, item)
         entry = self._lookup_cache.get(key)
         if entry is not None and entry["version"] != version:
             entry = None  # ownership changed: forget everything learned
-        if entry is not None and entry["checked"].covers(region):
-            self.cache_hits += 1
-            self.lookups += 1
-            mapping = []
-            for piece, pid in entry["pieces"]:
-                overlap = piece.intersect(region)
-                if not overlap.is_empty():
-                    mapping.append((overlap, pid))
-            unresolved = region.difference(entry["resolved"])
-            return mapping, unresolved
+        if entry is not None:
+            fast = entry["fast"].get(region._rid)
+            if fast is not None:
+                # O(1) epoch-validated hit on the interned region's id
+                self.cache_hits += 1
+                self.lookups += 1
+                mapping, unresolved = fast
+                return list(mapping), unresolved
+            if entry["checked"].covers(region):
+                self.cache_hits += 1
+                self.lookups += 1
+                mapping = []
+                for piece, pid in entry["pieces"]:
+                    overlap = piece.intersect(region)
+                    if not overlap.is_empty():
+                        mapping.append((overlap, pid))
+                unresolved = region.difference(entry["resolved"])
+                entry["fast"][region._rid] = (mapping, unresolved)
+                return list(mapping), unresolved
         self.cache_misses += 1
         mapping, unresolved = yield from self.lookup(item, region, origin)
         # re-validate: ownership may have changed *during* the lookup, and
@@ -309,6 +324,7 @@ class HierarchicalIndex:
                     "pieces": [],
                     "resolved": item.empty_region(),
                     "checked": item.empty_region(),
+                    "fast": {},
                 }
                 self._lookup_cache[key] = entry
             for piece, pid in mapping:
@@ -317,6 +333,7 @@ class HierarchicalIndex:
                     entry["pieces"].append((fresh, pid))
                     entry["resolved"] = entry["resolved"].union(fresh)
             entry["checked"] = entry["checked"].union(region)
+            entry["fast"][region._rid] = (list(mapping), unresolved)
         return mapping, unresolved
 
     # -- convenience -----------------------------------------------------------------------

@@ -185,7 +185,12 @@ class RuntimeProcess:
             if not task.write_region(item).is_empty()
         }
         if intents:
-            self.runtime.register_write_intent(task, self.pid, intents)
+            reads = {
+                item: task.read_region(item)
+                for item in task.accessed_items_ordered()
+                if not task.read_region(item).is_empty()
+            }
+            self.runtime.register_write_intent(task, self.pid, intents, reads)
         try:
             for _attempt in range(16):
                 yield from self.data_manager.ensure_for_task(task)

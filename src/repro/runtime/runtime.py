@@ -67,7 +67,9 @@ class AllScaleRuntime:
         #: region, corner bounds)}, task ref — pins the id).  Registered
         #: while a leaf stages its write set, cleared once its locks are
         #: verified; competing stagers defer to *older* intents.
-        self._write_intents: dict[int, tuple[int, int, dict, object]] = {}
+        self._write_intents: dict[
+            int, tuple[int, int, dict, dict, object]
+        ] = {}
         self._intent_seq = 0
         self._intent_waiters: list = []
         #: optional per-task lifecycle tracing (repro.runtime.tracing)
@@ -241,9 +243,15 @@ class AllScaleRuntime:
     # so the oldest one always makes progress and the wait graph is acyclic.
 
     def register_write_intent(
-        self, owner: object, pid: int, regions: dict
+        self, owner: object, pid: int, regions: dict, reads: dict | None = None
     ) -> None:
-        """Reserve ``regions`` ({item: write region}) while ``owner`` stages."""
+        """Reserve ``regions`` ({item: write region}) while ``owner`` stages.
+
+        ``reads`` ({item: read region}) records the stager's read premise:
+        younger *writers* must not invalidate replicas an older stager is
+        still fetching, or the pair ping-pongs re-fetch against
+        invalidation until the fetch loop gives up.
+        """
         self._intent_seq += 1
         # bounding corners are precomputed so the blocked-check can
         # reject non-overlapping intents without touching the region
@@ -256,6 +264,10 @@ class AllScaleRuntime:
                 item: (region, corner_bounds(region))
                 for item, region in regions.items()
             },
+            {
+                item: (region, corner_bounds(region))
+                for item, region in (reads or {}).items()
+            },
             owner,
         )
         self._signal_intent_change()
@@ -265,31 +277,46 @@ class AllScaleRuntime:
             self._signal_intent_change()
 
     def write_intent_blocked(
-        self, item: DataItem, region: Region, owner: object
+        self,
+        item: DataItem,
+        region: Region,
+        owner: object,
+        against_reads: bool = False,
     ) -> bool:
         """True while an intent ``owner`` must defer to overlaps ``region``.
 
         Pure readers (no intent of their own) defer to every staging
-        writer; intent holders defer only to older intents.
+        writer; intent holders defer only to older intents.  With
+        ``against_reads`` the check additionally defers to older intents'
+        *read* premises — used on the write path (ownership acquisition
+        and replica invalidation), where proceeding would destroy
+        replicas an older stager is still assembling.  Readers never
+        block on reads, so the reader-side gates leave it off.
         """
         if not self._write_intents:
             return False
         own = self._write_intents.get(id(owner)) if owner is not None else None
         own_seq = own[0] if own is not None else None
         bounds = corner_bounds(region)
-        for key, (seq, _pid, regions, _ref) in self._write_intents.items():
+        for key, (seq, _pid, regions, reads, _ref) in self._write_intents.items():
             if owner is not None and key == id(owner):
                 continue
             if own_seq is not None and seq > own_seq:
                 continue
             entry = regions.get(item)
-            if entry is None:
-                continue
-            other_region, other_bounds = entry
-            if bounds_disjoint(bounds, other_bounds):
-                continue
-            if other_region.overlaps(region):
-                return True
+            if entry is not None:
+                other_region, other_bounds = entry
+                if not bounds_disjoint(bounds, other_bounds):
+                    if other_region.overlaps(region):
+                        return True
+            if against_reads:
+                entry = reads.get(item)
+                if entry is not None:
+                    other_region, other_bounds = entry
+                    if bounds_disjoint(bounds, other_bounds):
+                        continue
+                    if other_region.overlaps(region):
+                        return True
         return False
 
     def intent_change(self):
@@ -393,10 +420,12 @@ class AllScaleRuntime:
         pollute each other.  Called automatically when :meth:`wait` /
         :meth:`wait_process` complete; idempotent.
         """
+        self.metrics.flush()
         stats = get_kernel().stats()
         base = self._region_stats_base
         for name, value in stats.items():
             self.metrics.set(name, value - base.get(name, 0))
+        self.metrics.set("engine.compactions", float(self.engine.compactions))
 
     @property
     def now(self) -> float:

@@ -141,23 +141,38 @@ class Scheduler:
             )
             shared[item] = mapping
         # place each sibling from its clip of the shared mapping, then
-        # group the dispatches by destination
+        # group the dispatches by destination.  Siblings of one split
+        # frequently access the *same* region of shared items (stencil
+        # readback planes, TPC's kd-tree), so clips are memoized on the
+        # (item, interned-region-id) pair — repeat clips are one dict hit
+        clip_memo: dict[tuple[int, int], list[tuple[Region, int]]] = {}
+        clip_reuses = 0
         groups: dict[int, list] = {}
         for task, treeture in zip(tasks, treetures):
             variant = runtime.policy.pick_variant(task, runtime)
             lookup: dict[DataItem, list[tuple[Region, int]]] = {}
             for item in task.accessed_items_ordered():
                 region = task.accessed_region(item)
-                pieces = []
-                for part, owner in shared.get(item, ()):
-                    overlap = part.intersect(region)
-                    if not overlap.is_empty():
-                        pieces.append((overlap, owner))
+                if region._rid is None:
+                    region = region.interned()
+                memo_key = (id(item), region._rid)
+                pieces = clip_memo.get(memo_key)
+                if pieces is None:
+                    pieces = []
+                    for part, owner in shared.get(item, ()):
+                        overlap = part.intersect(region)
+                        if not overlap.is_empty():
+                            pieces.append((overlap, owner))
+                    clip_memo[memo_key] = pieces
+                else:
+                    clip_reuses += 1
                 lookup[item] = pieces
             target = self._choose_target(task, lookup, origin)
             groups.setdefault(target, []).append(
                 (task, treeture, variant, lookup)
             )
+        if clip_reuses:
+            runtime.metrics.incr("comms.batch_clip_reuses", clip_reuses)
         dispatchers = [
             runtime.engine.spawn(
                 self._dispatch_group(target, groups[target], origin)

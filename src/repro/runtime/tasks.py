@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Future, SimEngine
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskSpec:
     """A schedulable unit of work with declared data requirements."""
 

@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.tasks import TaskSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferStep:
     """One planned or executed movement of a region of one item."""
 
@@ -56,6 +56,8 @@ class TransferStep:
 
 class TransferPlan:
     """Planned-versus-moved ledger of one staging or prefetch pass."""
+
+    __slots__ = ("dst", "purpose", "planned", "moved", "hits", "finished")
 
     def __init__(self, dst: int, purpose: str = "") -> None:
         self.dst = dst
@@ -229,7 +231,7 @@ def plan_for_task(
     return plan
 
 
-@dataclass
+@dataclass(slots=True)
 class _CacheEntry:
     region: Region
     #: index ownership epoch at fetch time
@@ -249,6 +251,8 @@ class ReplicaCache:
     it: writers still invalidate replicas explicitly, and an evicted
     region is simply re-fetched on next use.
     """
+
+    __slots__ = ("manager", "max_bytes", "_entries", "_tick")
 
     def __init__(
         self, manager: "DataItemManager", max_bytes: float | None = None

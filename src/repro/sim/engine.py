@@ -1,9 +1,27 @@
-"""Discrete-event simulation core.
+"""Discrete-event simulation core on a flat, array-backed calendar queue.
 
-The engine keeps a priority queue of events ordered by ``(time, sequence)``
-— the sequence number makes simultaneous events fire in scheduling order,
-so every run of the same scenario is deterministic regardless of hash
-randomization or dict ordering.
+Events are ordered by ``(time, sequence)`` — the sequence number makes
+simultaneous events fire in scheduling order, so every run of the same
+scenario is deterministic regardless of hash randomization or dict
+ordering.
+
+The queue is a struct-of-arrays calendar rather than a heap of event
+objects:
+
+* **sorted run** — two parallel numpy arrays (``float64`` times,
+  ``int64`` sequence numbers) sorted by ``(time, seq)``, consumed through
+  a cursor.  Same-timestamp events form a contiguous slice of the run and
+  are dispatched as one batch.
+* **overflow heap** — events scheduled since the last merge live in a
+  small ``(time, seq)`` tuple heap.  Because sequence numbers are
+  monotone, every overflow entry sorts after every run entry at equal
+  timestamps, which is what makes batched run dispatch safe.  When the
+  overflow outgrows the remaining run it is merged in with one
+  ``numpy.lexsort`` — amortized O(1) per event.
+* **callback table** — ``seq -> callable``.  Cancellation removes the
+  entry (the array slot becomes a tombstone, skipped on pop); when more
+  than half the pending slots are tombstones the queue compacts itself
+  and counts it in :attr:`SimEngine.compactions`.
 
 Two programming styles are supported on top of the raw event queue:
 
@@ -17,26 +35,34 @@ Two programming styles are supported on top of the raw event queue:
 from __future__ import annotations
 
 import heapq
-import itertools
+from math import inf
 from typing import Any, Callable, Generator
+
+import numpy as np
+
+#: merge the overflow heap into the sorted run once it outgrows both this
+#: floor and the unconsumed remainder of the run
+_MERGE_FLOOR = 1024
+
+_EMPTY_TIMES = np.empty(0, dtype=np.float64)
+_EMPTY_SEQS = np.empty(0, dtype=np.int64)
 
 
 class Event:
-    """A scheduled callback; cancellable."""
+    """Handle for a scheduled callback; cancellable."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]) -> None:
+    def __init__(self, time: float, seq: int, engine: "SimEngine") -> None:
         self.time = time
         self.seq = seq
-        self.fn = fn
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if not self.cancelled:
+            self.cancelled = True
+            self._engine._cancel(self.seq)
 
     def __repr__(self) -> str:
         flag = " cancelled" if self.cancelled else ""
@@ -83,12 +109,45 @@ ProcessGen = Generator[Any, Any, Any]
 
 
 class SimEngine:
-    """Deterministic discrete-event loop."""
+    """Deterministic discrete-event loop over the flat calendar queue."""
+
+    __slots__ = (
+        "now",
+        "compactions",
+        "_run_times",
+        "_run_seqs",
+        "_rt",
+        "_rs",
+        "_run_pos",
+        "_over",
+        "_fns",
+        "_next_seq",
+        "_cancelled",
+        "_gen",
+        "_events_processed",
+        "_listeners",
+    )
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        #: number of tombstone-compaction passes the queue has performed
+        self.compactions = 0
+        # sorted run (struct-of-arrays) + python-list dispatch mirrors;
+        # the numpy arrays are canonical storage for merge/compaction,
+        # the lists give O(1) scalar reads in the dispatch loop
+        self._run_times = _EMPTY_TIMES
+        self._run_seqs = _EMPTY_SEQS
+        self._rt: list[float] = []
+        self._rs: list[int] = []
+        self._run_pos = 0
+        # overflow: (time, seq) heap of events scheduled since last merge
+        self._over: list[tuple[float, int]] = []
+        # seq -> callback; absent seq == cancelled tombstone
+        self._fns: dict[int, Callable[[], None]] = {}
+        self._next_seq = 0
+        self._cancelled = 0
+        # bumped by merge/compaction so an active run() reloads its locals
+        self._gen = 0
         self._events_processed = 0
         # post-event observers (e.g. the runtime invariant sentinel);
         # called with no arguments after each executed event
@@ -109,17 +168,22 @@ class SimEngine:
         """Run ``fn`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        event = Event(self.now + delay, next(self._seq), fn)
-        heapq.heappush(self._queue, event)
-        return event
+        time = self.now + delay
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._fns[seq] = fn
+        heapq.heappush(self._over, (time, seq))
+        return Event(time, seq, self)
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
         """Run ``fn`` at absolute simulated time ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        event = Event(time, next(self._seq), fn)
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._fns[seq] = fn
+        heapq.heappush(self._over, (time, seq))
+        return Event(time, seq, self)
 
     def future(self) -> Future:
         return Future(self)
@@ -175,6 +239,80 @@ class SimEngine:
             future.add_callback(make_cb(index))
         return combined
 
+    # -- queue maintenance ----------------------------------------------------------
+
+    def _cancel(self, seq: int) -> None:
+        if self._fns.pop(seq, None) is None:
+            return  # already executed, already cancelled, or never queued
+        self._cancelled += 1
+        pending_slots = (len(self._rs) - self._run_pos) + len(self._over)
+        if self._cancelled * 2 > pending_slots:
+            self._compact()
+
+    def _merge(self) -> None:
+        """Fold the overflow heap into the sorted run with one lexsort."""
+        over = self._over
+        if not over:
+            return
+        count = len(over)
+        times = np.concatenate(
+            (
+                self._run_times[self._run_pos :],
+                np.fromiter((e[0] for e in over), dtype=np.float64, count=count),
+            )
+        )
+        seqs = np.concatenate(
+            (
+                self._run_seqs[self._run_pos :],
+                np.fromiter((e[1] for e in over), dtype=np.int64, count=count),
+            )
+        )
+        order = np.lexsort((seqs, times))
+        self._run_times = times[order]
+        self._run_seqs = seqs[order]
+        self._rt = self._run_times.tolist()
+        self._rs = self._run_seqs.tolist()
+        self._run_pos = 0
+        over.clear()
+        self._gen += 1
+
+    def _compact(self) -> None:
+        """Drop tombstoned slots from both the run and the overflow."""
+        self.compactions += 1
+        fns = self._fns
+        times = self._run_times[self._run_pos :]
+        seqs = self._run_seqs[self._run_pos :]
+        if len(seqs):
+            if fns:
+                live = np.isin(
+                    seqs,
+                    np.fromiter(fns.keys(), dtype=np.int64, count=len(fns)),
+                )
+                times = np.ascontiguousarray(times[live])
+                seqs = np.ascontiguousarray(seqs[live])
+            else:
+                times = _EMPTY_TIMES
+                seqs = _EMPTY_SEQS
+        self._run_times = times
+        self._run_seqs = seqs
+        self._rt = times.tolist()
+        self._rs = seqs.tolist()
+        self._run_pos = 0
+        if self._over:
+            self._over = [e for e in self._over if e[1] in fns]
+            heapq.heapify(self._over)
+        self._cancelled = 0
+        self._gen += 1
+
+    def _peek_time(self) -> float:
+        """Time of the earliest pending slot (tombstones included)."""
+        head = inf
+        if self._run_pos < len(self._rt):
+            head = self._rt[self._run_pos]
+        if self._over and self._over[0][0] < head:
+            head = self._over[0][0]
+        return head
+
     # -- execution -----------------------------------------------------------------
 
     def run(
@@ -184,33 +322,89 @@ class SimEngine:
 
         Returns the number of events processed by this call.
         """
+        horizon = inf if until is None else until
+        limit = inf if max_events is None else max_events
         processed = 0
-        while self._queue:
-            event = self._queue[0]
-            if until is not None and event.time > until:
+        if len(self._over) > min(_MERGE_FLOOR, 32 + len(self._rs) - self._run_pos):
+            self._merge()
+        fns = self._fns
+        listeners = self._listeners
+        rt, rs = self._rt, self._rs
+        pos, n = self._run_pos, len(self._rs)
+        over = self._over
+        gen = self._gen
+        while processed < limit:
+            if len(over) > _MERGE_FLOOR and len(over) > n - pos:
+                self._run_pos = pos
+                self._merge()
+                rt, rs = self._rt, self._rs
+                pos, n = 0, len(rs)
+                gen = self._gen
+            if pos < n:
+                t = rt[pos]
+                from_over = bool(over) and over[0][0] < t
+            elif over:
+                from_over = True
+            else:
                 break
-            # bound check happens BEFORE the pop: a previous version popped
-            # first and broke without executing, silently losing one event
-            # per bounded run call
-            if max_events is not None and processed >= max_events:
-                break
-            heapq.heappop(self._queue)
-            if event.cancelled:
+            if from_over:
+                t = over[0][0]
+                if t > horizon:
+                    break
+                seq = heapq.heappop(over)[1]
+                fn = fns.pop(seq, None)
+                if fn is None:
+                    self._cancelled -= 1
+                    continue
+                self.now = t
+                self._run_pos = pos  # keep honest: fn may compact/merge
+                fn()
+                processed += 1
+                self._events_processed += 1
+                if listeners:
+                    for listener in tuple(listeners):
+                        listener()
+                if self._gen != gen:
+                    rt, rs = self._rt, self._rs
+                    pos, n = self._run_pos, len(rs)
+                    gen = self._gen
                 continue
-            self.now = event.time
-            event.fn()
-            processed += 1
-            self._events_processed += 1
-            if self._listeners:
-                for listener in tuple(self._listeners):
-                    listener()
-        if until is not None and (not self._queue or self._queue[0].time > until):
+            if t > horizon:
+                break
+            # batched same-timestamp dispatch: every run entry at time t
+            # precedes every overflow entry at time t (overflow seqs are
+            # strictly larger), so the whole contiguous slice is safe
+            end = pos + 1
+            while end < n and rt[end] == t:
+                end += 1
+            self.now = t
+            while pos < end and processed < limit:
+                seq = rs[pos]
+                pos += 1
+                fn = fns.pop(seq, None)
+                if fn is None:
+                    self._cancelled -= 1
+                    continue
+                self._run_pos = pos
+                fn()
+                processed += 1
+                self._events_processed += 1
+                if listeners:
+                    for listener in tuple(listeners):
+                        listener()
+                if self._gen != gen:
+                    rt, rs = self._rt, self._rs
+                    pos, n = self._run_pos, len(rs)
+                    gen = self._gen
+                    break
+        self._run_pos = pos
+        if until is not None and self._peek_time() > until:
             self.now = max(self.now, until)
         return processed
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._fns)
 
     @property
     def events_processed(self) -> int:

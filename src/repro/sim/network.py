@@ -27,7 +27,7 @@ from repro.sim.metrics import MetricRegistry
 from repro.sim.topology import FatTreeTopology
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetworkConfig:
     """Tunable parameters of the network model.
 
@@ -57,7 +57,7 @@ class NetworkConfig:
                 raise ValueError(f"{name} must be >= 0")
 
 
-@dataclass
+@dataclass(slots=True)
 class _NicState:
     send_free_at: float = 0.0
     recv_free_at: float = 0.0
@@ -65,6 +65,8 @@ class _NicState:
 
 class Network:
     """Message transport between simulated nodes."""
+
+    __slots__ = ("engine", "topology", "config", "metrics", "_nics", "_ctr")
 
     def __init__(
         self,
@@ -78,6 +80,13 @@ class Network:
         self.config = config or NetworkConfig()
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self._nics = [_NicState() for _ in range(topology.num_nodes)]
+        # flat per-message slots, flushed into ``metrics`` at barriers:
+        # counts = (net.messages, net.bytes, net.bulk_messages,
+        # net.bulk_parts), rows[0] = net.send_queue_wait
+        self._ctr = self.metrics.block(
+            ("net.messages", "net.bytes", "net.bulk_messages", "net.bulk_parts"),
+            ("net.send_queue_wait",),
+        )
 
     # -- core transfer ---------------------------------------------------------------
 
@@ -92,8 +101,9 @@ class Network:
         engine = self.engine
         cfg = self.config
         done = engine.future()
-        self.metrics.incr("net.messages")
-        self.metrics.incr("net.bytes", nbytes)
+        ctr = self._ctr
+        ctr.counts[0] += 1.0
+        ctr.counts[1] += nbytes
 
         if src == dst:
             engine.schedule(cfg.loopback_overhead, lambda: done.complete(engine.now))
@@ -104,7 +114,7 @@ class Network:
         send_start = max(engine.now, nic.send_free_at)
         send_done = send_start + cfg.send_overhead + serialization
         nic.send_free_at = send_done
-        self.metrics.observe("net.send_queue_wait", send_start - engine.now)
+        ctr.note(0, send_start - engine.now)
 
         wire = cfg.base_latency + cfg.hop_latency * self.topology.switch_hops(
             src, dst
@@ -136,8 +146,9 @@ class Network:
         for nbytes in sizes:
             if nbytes < 0:
                 raise ValueError(f"negative constituent size {nbytes}")
-        self.metrics.incr("net.bulk_messages")
-        self.metrics.incr("net.bulk_parts", len(sizes))
+        ctr = self._ctr
+        ctr.counts[2] += 1.0
+        ctr.counts[3] += len(sizes)
         return self.send(src, dst, sum(sizes))
 
     def transfer_time_estimate(self, src: int, dst: int, nbytes: int) -> float:

@@ -22,6 +22,19 @@ class MemoryExhaustedError(RuntimeError):
 class SimNode:
     """One cluster node: ``cores`` workers and ``memory_bytes`` of RAM."""
 
+    __slots__ = (
+        "engine",
+        "node_id",
+        "num_cores",
+        "flops_per_core",
+        "memory_bytes",
+        "memory_used",
+        "metrics",
+        "_core_free_at",
+        "_busy_time",
+        "_ctr",
+    )
+
     def __init__(
         self,
         engine: SimEngine,
@@ -44,6 +57,13 @@ class SimNode:
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self._core_free_at = [0.0] * cores
         self._busy_time = 0.0
+        # flat per-event slots, flushed into ``metrics`` at barriers:
+        # counts[0]=node.tasks_executed, counts[1]=node.parallel_regions,
+        # rows[0]=node.queue_wait
+        self._ctr = self.metrics.block(
+            ("node.tasks_executed", "node.parallel_regions"),
+            ("node.queue_wait",),
+        )
 
     # -- compute -------------------------------------------------------------------
 
@@ -55,13 +75,15 @@ class SimNode:
         if cost_seconds < 0:
             raise ValueError(f"negative cost {cost_seconds}")
         engine = self.engine
-        core = min(range(self.num_cores), key=lambda k: self._core_free_at[k])
-        start = max(engine.now, self._core_free_at[core])
+        free_at = self._core_free_at
+        core = min(range(self.num_cores), key=free_at.__getitem__)
+        start = max(engine.now, free_at[core])
         finish = start + cost_seconds
-        self._core_free_at[core] = finish
+        free_at[core] = finish
         self._busy_time += cost_seconds
-        self.metrics.incr("node.tasks_executed")
-        self.metrics.observe("node.queue_wait", start - engine.now)
+        ctr = self._ctr
+        ctr.counts[0] += 1.0
+        ctr.note(0, start - engine.now)
         done = engine.future()
         engine.schedule_at(finish, lambda: done.complete(engine.now))
         return done
@@ -80,7 +102,7 @@ class SimNode:
         for core in range(self.num_cores):
             self._core_free_at[core] = finish
         self._busy_time += cost_seconds * self.num_cores
-        self.metrics.incr("node.parallel_regions")
+        self._ctr.counts[1] += 1.0
         done = engine.future()
         engine.schedule_at(finish, lambda: done.complete(engine.now))
         return done

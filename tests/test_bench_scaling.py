@@ -1,0 +1,119 @@
+"""Schema and check-logic tests for the pinned weak-scaling baseline."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench.harness import ScalingPoint, ScalingSeries
+from repro.bench.scaling import (
+    BASELINE_PATH,
+    SCALING_SCHEMA_VERSION,
+    ScalingPanel,
+    check_panel,
+    panel_mode,
+    panel_section,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _panel(allscale: float = 10.0, wall: float = 1.0) -> ScalingPanel:
+    series = {
+        app: ScalingSeries(
+            app=app,
+            metric="u/s",
+            points=[
+                ScalingPoint(nodes=1, allscale=allscale, mpi=12.0),
+                ScalingPoint(nodes=4, allscale=allscale * 4, mpi=48.0),
+            ],
+        )
+        for app in ("stencil", "ipic3d", "tpc")
+    }
+    return ScalingPanel(
+        mode="smoke",
+        node_counts=(1, 4),
+        series=series,
+        wall_seconds={app: wall for app in series},
+    )
+
+
+def _baseline(panel: ScalingPanel) -> dict:
+    return {
+        "schema": SCALING_SCHEMA_VERSION,
+        "modes": {panel.mode: panel_section(panel)},
+    }
+
+
+class TestCheckPanel:
+    def test_identical_run_passes(self) -> None:
+        panel = _panel()
+        assert check_panel(panel, _baseline(panel)) == []
+
+    def test_missing_baseline_reported(self) -> None:
+        assert check_panel(_panel(), None)
+
+    def test_missing_mode_section_reported(self) -> None:
+        baseline = _baseline(_panel())
+        baseline["modes"] = {}
+        problems = check_panel(_panel(), baseline)
+        assert any("no 'smoke' section" in p for p in problems)
+
+    def test_changed_output_detected(self) -> None:
+        baseline = _baseline(_panel(allscale=10.0))
+        problems = check_panel(_panel(allscale=10.0001), baseline)
+        assert any("output changed" in p for p in problems)
+
+    def test_tiny_drift_is_still_a_failure(self) -> None:
+        # determinism means exact equality — no epsilon
+        baseline = _baseline(_panel(allscale=10.0))
+        problems = check_panel(
+            _panel(allscale=10.0 + 1e-9), baseline
+        )
+        assert any("output changed" in p for p in problems)
+
+    def test_wall_clock_regression_detected(self) -> None:
+        baseline = _baseline(_panel(wall=1.0))
+        problems = check_panel(_panel(wall=1.5), baseline)
+        assert any("wall clock regressed" in p for p in problems)
+
+    def test_wall_clock_within_tolerance_passes(self) -> None:
+        baseline = _baseline(_panel(wall=1.0))
+        assert check_panel(_panel(wall=1.1), baseline) == []
+
+
+class TestPanelMode:
+    def test_modes(self) -> None:
+        assert panel_mode(False, False) == "full"
+        assert panel_mode(True, False) == "quick"
+        assert panel_mode(False, True) == "smoke"
+        assert panel_mode(True, True) == "smoke"
+
+
+class TestCommittedBaseline:
+    """The committed artifact itself: shape, coverage, and the headline."""
+
+    def _load(self) -> dict:
+        assert BASELINE_PATH.exists(), "BENCH_scaling_baseline.json missing"
+        return json.loads(BASELINE_PATH.read_text())
+
+    def test_location_and_schema(self) -> None:
+        assert BASELINE_PATH == REPO_ROOT / "BENCH_scaling_baseline.json"
+        assert self._load()["schema"] == SCALING_SCHEMA_VERSION
+
+    def test_full_sweep_covers_the_paper_axis(self) -> None:
+        section = self._load()["modes"]["full"]
+        assert section["node_counts"] == [1, 2, 4, 8, 16, 32, 64]
+        for app in ("stencil", "ipic3d", "tpc"):
+            points = section["apps"][app]["points"]
+            assert [p["nodes"] for p in points] == [1, 2, 4, 8, 16, 32, 64]
+            for point in points:
+                assert point["allscale"] > 0.0
+                assert point["mpi"] > 0.0
+
+    def test_quick_section_records_speedup(self) -> None:
+        section = self._load()["modes"]["quick"]
+        assert section["node_counts"] == [1, 4, 16]
+        assert section["pr5_seconds"] == 86.4
+        # the flat-core refactor's acceptance bar
+        assert section["speedup_vs_pr5"] >= 3.0

@@ -1,0 +1,207 @@
+"""Differential tests of the array-backed calendar queue.
+
+The flat queue in :mod:`repro.sim.engine` must be observationally
+identical to the textbook implementation it replaced: a single heapq of
+``(time, seq)`` pairs popped in order.  The hypothesis sweep drives both
+through random interleavings of scheduling, cancellation, rescheduling
+and partial runs — with times drawn from a small grid so equal-timestamp
+sequence tiebreaks are exercised constantly — and requires the exact
+same firing order.  A seeded large-scale stress run pushes the queue
+through its merge and compaction machinery, which small examples never
+reach (the merge floor is 1024 events).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimEngine
+
+
+class HeapReference:
+    """The replaced implementation: one heap, popped in (time, seq) order."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int]] = []
+        self._live: set[int] = set()
+        self._next_seq = 0
+
+    def schedule_at(self, time: float) -> int:
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._heap, (time, seq))
+        self._live.add(seq)
+        return seq
+
+    def cancel(self, seq: int) -> None:
+        self._live.discard(seq)
+
+    def run(self, until: float | None = None) -> list[int]:
+        fired = []
+        while self._heap and (until is None or self._heap[0][0] <= until):
+            time, seq = heapq.heappop(self._heap)
+            if seq in self._live:
+                self._live.discard(seq)
+                self.now = time
+                fired.append(seq)
+        if until is not None:
+            self.now = max(self.now, until)
+        return fired
+
+    @property
+    def pending(self) -> int:
+        return len(self._live)
+
+
+#: offsets from the current watermark; a tiny pool guarantees collisions
+_DELTAS = (0.0, 0.5, 1.0, 1.5, 3.0)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("sched"), st.sampled_from(_DELTAS)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=63)),
+        st.tuples(
+            st.just("resched"),
+            st.integers(min_value=0, max_value=63),
+            st.sampled_from(_DELTAS),
+        ),
+        st.tuples(st.just("run"), st.sampled_from(_DELTAS)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _drive(ops) -> None:
+    engine = SimEngine()
+    model = HeapReference()
+    fired_engine: list[int] = []
+    fired_model: list[int] = []
+    events = []  # (engine Event handle, model seq), in scheduling order
+
+    def _schedule(delta: float) -> None:
+        time = engine.now + delta
+        seq_holder = []
+        handle = engine.schedule_at(
+            time, lambda: fired_engine.append(seq_holder[0])
+        )
+        seq_holder.append(handle.seq)
+        model_seq = model.schedule_at(time)
+        assert handle.seq == model_seq  # both count schedules identically
+        events.append((handle, model_seq))
+
+    for op in ops:
+        if op[0] == "sched":
+            _schedule(op[1])
+        elif op[0] == "cancel":
+            if events:
+                handle, model_seq = events[op[1] % len(events)]
+                handle.cancel()
+                model.cancel(model_seq)
+        elif op[0] == "resched":
+            if events:
+                handle, model_seq = events[op[1] % len(events)]
+                handle.cancel()
+                model.cancel(model_seq)
+                _schedule(op[2])
+        else:  # run
+            until = engine.now + op[1]
+            engine.run(until=until)
+            fired_model.extend(model.run(until=until))
+            assert engine.now == model.now
+            assert fired_engine == fired_model
+    engine.run()
+    fired_model.extend(model.run())
+    assert fired_engine == fired_model
+    assert engine.pending_events == model.pending == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(_OPS)
+def test_matches_reference_heapq(ops) -> None:
+    _drive(ops)
+
+
+def test_equal_timestamps_fire_in_scheduling_order() -> None:
+    engine = SimEngine()
+    fired: list[int] = []
+    for index in range(100):
+        engine.schedule_at(1.0, lambda i=index: fired.append(i))
+    engine.run()
+    assert fired == list(range(100))
+
+
+def test_merge_and_compaction_stress() -> None:
+    """Seeded large run: overflow merges and tombstone compaction."""
+    rng = random.Random(20260809)
+    engine = SimEngine()
+    model = HeapReference()
+    fired_engine: list[int] = []
+    fired_model: list[int] = []
+    handles = []
+    for _ in range(5000):
+        time = rng.choice((0.5, 1.0, 2.0, 4.0)) * rng.randint(1, 50)
+        handle = engine.schedule_at(
+            time, lambda s=len(handles): fired_engine.append(s)
+        )
+        model_seq = model.schedule_at(time)
+        assert handle.seq == model_seq
+        handles.append(handle)
+    # force merges: drain in many small horizon slices
+    for until in range(0, 60, 3):
+        # cancel a random slice between runs to stress tombstoning
+        for _ in range(220):
+            victim = rng.randrange(len(handles))
+            handles[victim].cancel()
+            model.cancel(victim)
+        engine.run(until=float(until))
+        fired_model.extend(model.run(until=float(until)))
+        assert fired_engine == fired_model
+    engine.run()
+    fired_model.extend(model.run())
+    assert fired_engine == fired_model
+    assert engine.pending_events == 0
+    assert engine.compactions > 0  # the cancel storms must have tripped it
+
+
+def test_compaction_counter_and_correct_survivors() -> None:
+    engine = SimEngine()
+    fired: list[int] = []
+    handles = [
+        engine.schedule_at(float(i), lambda i=i: fired.append(i))
+        for i in range(100)
+    ]
+    for handle in handles[:60]:
+        handle.cancel()
+    assert engine.compactions >= 1  # >50% tombstones triggers a pass
+    engine.run()
+    assert fired == list(range(60, 100))
+
+
+def test_cancel_after_fire_is_a_noop() -> None:
+    engine = SimEngine()
+    fired: list[int] = []
+    handle = engine.schedule_at(1.0, lambda: fired.append(0))
+    engine.run()
+    handle.cancel()  # already executed; must not disturb anything
+    engine.schedule_at(2.0, lambda: fired.append(1))
+    engine.run()
+    assert fired == [0, 1]
+
+
+def test_schedule_in_the_past_rejected() -> None:
+    engine = SimEngine()
+    engine.schedule_at(5.0, lambda: None)
+    engine.run()
+    assert engine.now == 5.0
+    try:
+        engine.schedule_at(4.0, lambda: None)
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError for past schedule")
