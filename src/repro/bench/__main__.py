@@ -79,17 +79,24 @@ def main(argv: list[str] | None = None) -> int:
         "print per-app host timing",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="run the multi-tenant service panel: replay the committed "
+        "arrival trace plus the contended fair-share demo, reporting "
+        "per-tenant latency/throughput and the fairness index",
+    )
+    parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="with --scaling: merge this run's section into "
-        "BENCH_scaling_baseline.json",
+        help="with --scaling/--service: merge this run's section into "
+        "the matching BENCH_*_baseline.json",
     )
     parser.add_argument(
         "--check",
         action="store_true",
-        help="with --scaling: compare against the committed baseline; "
-        "non-zero exit if any throughput value differs or wall clock "
-        "regresses >20%%",
+        help="with --scaling/--service: compare against the committed "
+        "baseline; non-zero exit if any simulated value differs or "
+        "wall clock regresses >20%%",
     )
     parser.add_argument(
         "--profile",
@@ -167,6 +174,39 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"scaling check: {problem}")
                 return 1
             print("scaling check: matches committed baseline")
+            print()
+        if not (args.artifacts or args.sentinel or args.analyze):
+            return 0
+
+    if args.service:
+        from repro.bench.service import (
+            check_panel as check_service,
+            load_baseline as load_service_baseline,
+            render_service_summary,
+            semantic_problems,
+            service_panel,
+            write_baseline as write_service_baseline,
+        )
+
+        panel = service_panel()
+        print(render_service_summary(panel))
+        print()
+        if args.write_baseline:
+            problems = semantic_problems(panel)
+            if problems:
+                for problem in problems:
+                    print(f"service panel: {problem}")
+                return 1
+            path = write_service_baseline(panel)
+            print(f"wrote {path}")
+            print()
+        if args.check:
+            problems = check_service(panel, load_service_baseline())
+            if problems:
+                for problem in problems:
+                    print(f"service check: {problem}")
+                return 1
+            print("service check: matches committed baseline")
             print()
         if not (args.artifacts or args.sentinel or args.analyze):
             return 0

@@ -58,6 +58,17 @@ class RuntimeConfig:
     #: unbounded; eviction goes through the comms.* metered replica cache)
     replica_cache_bytes: float | None = None
 
+    # -- service tenancy (repro.service; inert for one-shot runs) ----------------
+    #: tenant label this runtime executes on behalf of, for per-tenant
+    #: ``service.*`` metric attribution (None = not a service job)
+    tenant: str | None = None
+    #: core-seconds this job may charge before its
+    #: :class:`~repro.runtime.jobs.JobContext` raises the sticky
+    #: ``over_budget`` flag (None = unlimited).  Enforcement is a flag,
+    #: not an exception: the simulation stays deterministic and the
+    #: service settles the overrun at job completion.
+    job_node_seconds_cap: float | None = None
+
     # -- scheduling policy -------------------------------------------------------
     #: target number of leaf tasks per core (oversubscription factor)
     oversubscription: int = 4
@@ -82,3 +93,8 @@ class RuntimeConfig:
                 raise ValueError(f"{name} must be >= 0")
         if self.replica_cache_bytes is not None and self.replica_cache_bytes <= 0:
             raise ValueError("replica_cache_bytes must be positive or None")
+        if (
+            self.job_node_seconds_cap is not None
+            and self.job_node_seconds_cap < 0
+        ):
+            raise ValueError("job_node_seconds_cap must be >= 0 or None")

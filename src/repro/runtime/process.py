@@ -241,6 +241,9 @@ class RuntimeProcess:
                 cost = self.node.flops_to_seconds(task.flops)
                 if cost > 0:
                     yield self.node.execute(cost)
+                job = self.runtime.job_context
+                if job is not None:
+                    job.on_leaf(cost)
             value = None
             if task.body is not None and (
                 self.runtime.config.functional

@@ -78,6 +78,10 @@ class AllScaleRuntime:
         self.sentinel = None
         #: optional submit-time admission controller (repro.analysis.admission)
         self.analyzer = None
+        #: optional job-level accounting context (repro.runtime.jobs) —
+        #: set by the service layer when this runtime executes one tenant
+        #: job over a shared cluster
+        self.job_context = None
         # kernel counters are process-wide; remember the creation-time
         # snapshot so this runtime's metrics report only its own activity
         self._region_stats_base = get_kernel().stats()

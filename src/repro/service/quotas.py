@@ -1,0 +1,206 @@
+"""Per-tenant quota configuration and accounting.
+
+Two quotas bound what a tenant can take from the shared cluster:
+
+* **max_concurrent_jobs** — how many of the tenant's jobs may run at
+  once; further admitted jobs wait in the tenant's fair-share queue.
+* **max_node_seconds** — a cumulative core-seconds budget.  Admission
+  rejects a job whose static estimate no longer fits the remaining
+  budget (used + reserved + estimate > budget); an admitted job's
+  estimate is *reserved* from admission until completion, so a burst of
+  concurrent submissions cannot oversubscribe the budget and admission
+  never has to be retracted at dispatch time.  On completion the
+  reservation is replaced by the actual charge.
+
+The ledger maintains the invariants the service's property tests pin:
+counts and budgets never go negative, reservations always return, and a
+rejected job changes nothing but the rejection counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+
+
+class QuotaError(RuntimeError):
+    """Internal accounting would have gone negative (a service bug)."""
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Static description of one tenant."""
+
+    name: str
+    #: fair-share weight; observed long-run share of node-seconds tracks
+    #: the weights of backlogged tenants
+    weight: float = 1.0
+    #: concurrent running-job bound (admitted jobs queue beyond it)
+    max_concurrent_jobs: int = 4
+    #: cumulative core-seconds budget (None = unmetered)
+    max_node_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r}: weight must be > 0")
+        if self.max_concurrent_jobs < 1:
+            raise ValueError(
+                f"tenant {self.name!r}: max_concurrent_jobs must be >= 1"
+            )
+        if self.max_node_seconds is not None and self.max_node_seconds < 0:
+            raise ValueError(
+                f"tenant {self.name!r}: max_node_seconds must be >= 0"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "max_concurrent_jobs": self.max_concurrent_jobs,
+            "max_node_seconds": self.max_node_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantConfig":
+        return cls(
+            name=str(data["name"]),
+            weight=float(data.get("weight", 1.0)),
+            max_concurrent_jobs=int(data.get("max_concurrent_jobs", 4)),
+            max_node_seconds=(
+                None
+                if data.get("max_node_seconds") is None
+                else float(data["max_node_seconds"])
+            ),
+        )
+
+
+@dataclass
+class TenantLedger:
+    """Live accounting of one tenant against its quotas."""
+
+    config: TenantConfig
+    #: jobs currently executing on the cluster
+    running: int = 0
+    #: core-seconds reserved by admitted-but-unfinished jobs' estimates
+    reserved: float = 0.0
+    #: core-seconds actually charged by completed jobs
+    used: float = 0.0
+    #: lifetime counters
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    #: high-water mark of concurrently running jobs (quota audit)
+    peak_running: int = 0
+    #: sum of simulated queue waits of started jobs (seconds)
+    total_queue_wait: float = 0.0
+    started: int = 0
+    over_budget_jobs: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def remaining_node_seconds(self) -> float:
+        """Budget headroom after actual use and live reservations."""
+        if self.config.max_node_seconds is None:
+            return inf
+        return self.config.max_node_seconds - self.used - self.reserved
+
+    def admission_refusal(self, estimate: float) -> str | None:
+        """Why a job with this estimate cannot be admitted (None = fits)."""
+        if estimate > self.remaining_node_seconds():
+            return (
+                f"estimated {estimate:.6g} core-seconds exceeds tenant "
+                f"{self.name!r} remaining budget "
+                f"{max(0.0, self.remaining_node_seconds()):.6g} "
+                f"(cap {self.config.max_node_seconds:.6g})"
+            )
+        return None
+
+    def can_start(self) -> bool:
+        """Concurrency gate the fair-share scheduler consults."""
+        return self.running < self.config.max_concurrent_jobs
+
+    def on_admit(self, estimate: float) -> None:
+        """Reserve the estimate at admission, not dispatch.
+
+        Reserving this early means a burst of concurrent submissions
+        cannot collectively oversubscribe the budget, and an admitted
+        job is *guaranteed* to fit when its turn comes — admission never
+        has to be retracted at dispatch time.
+        """
+        self.reserved += estimate
+
+    def on_start(self, estimate: float, queue_wait: float) -> None:
+        if not self.can_start():
+            raise QuotaError(
+                f"tenant {self.name!r} dispatched past its concurrency cap"
+            )
+        self.running += 1
+        self.peak_running = max(self.peak_running, self.running)
+        self.started += 1
+        self.total_queue_wait += queue_wait
+
+    def on_finish(self, estimate: float, actual: float) -> None:
+        """Return the reservation and charge the actual core-seconds."""
+        self.running -= 1
+        self.reserved -= estimate
+        self.used += actual
+        self.completed += 1
+        if self.running < 0 or actual < 0:
+            raise QuotaError(
+                f"tenant {self.name!r} accounting went negative "
+                f"(running={self.running}, actual={actual})"
+            )
+        if self.reserved < 0:
+            # float dust from the reservation round trip, never real debt
+            if self.reserved < -1e-9:
+                raise QuotaError(
+                    f"tenant {self.name!r} reservation underflow "
+                    f"({self.reserved})"
+                )
+            self.reserved = 0.0
+        if self.completed == self.admitted and abs(self.reserved) < 1e-9:
+            # nothing outstanding: snap accumulated dust to an exact zero
+            self.reserved = 0.0
+
+    def check_invariants(self) -> None:
+        """Raise :class:`QuotaError` if any accounting invariant broke."""
+        if self.running < 0 or self.reserved < 0 or self.used < 0:
+            raise QuotaError(f"tenant {self.name!r}: negative accounting")
+        if self.running > self.config.max_concurrent_jobs:
+            raise QuotaError(f"tenant {self.name!r}: concurrency exceeded")
+        if self.peak_running > self.config.max_concurrent_jobs:
+            raise QuotaError(f"tenant {self.name!r}: peak concurrency exceeded")
+        if (
+            self.config.max_node_seconds is not None
+            and self.used + self.reserved
+            > self.config.max_node_seconds + 1e-9
+        ):
+            raise QuotaError(f"tenant {self.name!r}: budget oversubscribed")
+        if self.admitted + self.rejected > self.submitted:
+            raise QuotaError(f"tenant {self.name!r}: verdicts exceed arrivals")
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-tenant stats block."""
+        return {
+            "name": self.name,
+            "weight": self.config.weight,
+            "max_concurrent_jobs": self.config.max_concurrent_jobs,
+            "max_node_seconds": self.config.max_node_seconds,
+            "running": self.running,
+            "peak_running": self.peak_running,
+            "reserved_node_seconds": self.reserved,
+            "used_node_seconds": self.used,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "over_budget_jobs": self.over_budget_jobs,
+            "mean_queue_wait": (
+                self.total_queue_wait / self.started if self.started else 0.0
+            ),
+        }
