@@ -134,6 +134,26 @@ def prec(
     return PrecFunction(base_test, base, split, combine, **kwargs)
 
 
+def loop_granularity(
+    total_size: float,
+    processes: int,
+    cores_per_node: int,
+    min_task_size: float,
+    oversubscription: int,
+) -> float:
+    """Leaf size targeting ``total/(processes × cores × oversub)``.
+
+    The runtime-free form of :func:`default_granularity`: static program
+    builders (``repro.placement``) use it to construct the *same* task
+    trees the drivers submit, so offline plans pin real task names.
+    """
+    workers = max(1, processes * cores_per_node)
+    return max(
+        float(min_task_size),
+        total_size / (workers * oversubscription),
+    )
+
+
 def default_granularity(runtime: AllScaleRuntime, total_size: float) -> float:
     """Split until leaves are ~``total/(processes × cores × oversub)``.
 
@@ -141,11 +161,10 @@ def default_granularity(runtime: AllScaleRuntime, total_size: float) -> float:
     parallelism and load-balancing slack — the compiler/runtime analog of
     choosing a sensible OpenMP chunk size.
     """
-    workers = max(
-        1,
-        runtime.num_processes * runtime.cluster.spec.cores_per_node,
-    )
-    return max(
-        float(runtime.config.min_task_size),
-        total_size / (workers * runtime.config.oversubscription),
+    return loop_granularity(
+        total_size,
+        runtime.num_processes,
+        runtime.cluster.spec.cores_per_node,
+        runtime.config.min_task_size,
+        runtime.config.oversubscription,
     )

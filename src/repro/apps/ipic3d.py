@@ -35,7 +35,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
-from repro.api import box_region, expand_box, pfor
+from repro.analysis.program import TaskProgram
+from repro.api import box_region, expand_box, pfor_task
+from repro.api.prec import default_granularity, loop_granularity
 from repro.apps.common import AppResult
 from repro.apps.stencil import replace_functional
 from repro.items.grid import Grid
@@ -46,6 +48,7 @@ from repro.regions.box import grid_block_decomposition
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.policies import SchedulingPolicy
 from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
 from repro.sim.cluster import Cluster
 
 
@@ -107,6 +110,148 @@ def _make_items(workload: IPic3DWorkload, nodes: int) -> tuple[Grid, Grid, Grid,
     return e_field, b_field, particles, xfer
 
 
+def _noop_body(ctx, box) -> None:
+    return None
+
+
+def ipic3d_init_task(
+    item: Grid, cost: float, granularity: float | None = None
+) -> TaskSpec:
+    """Spread one grid (fields or particle populations) by first touch."""
+    return pfor_task(
+        (0, 0, 0),
+        item.shape,
+        body=_noop_body,
+        writes=lambda box, g=item: {g: box_region(g, box)},
+        flops_per_element=cost,
+        granularity=granularity,
+        name=f"init.{item.name}",
+    )
+
+
+def ipic3d_field_task(
+    step: int,
+    dst: Grid,
+    src: Grid,
+    workload: IPic3DWorkload,
+    granularity: float | None = None,
+) -> TaskSpec:
+    """One field-solver sweep: ``dst`` updated from ``src``'s halo."""
+    return pfor_task(
+        (0, 0, 0),
+        dst.shape,
+        body=_noop_body,
+        reads=lambda box, g=src: {g: expand_box(g, box, 1)},
+        writes=lambda box, g=dst: {g: box_region(g, box)},
+        flops_per_element=workload.flops_per_field_cell / 2.0,
+        granularity=granularity,
+        name=f"field{step}.{dst.name}",
+    )
+
+
+def ipic3d_push_task(
+    step: int,
+    e_field: Grid,
+    b_field: Grid,
+    particles: Grid,
+    xfer: Grid,
+    workload: IPic3DWorkload,
+    ppc: float,
+    granularity: float | None = None,
+) -> TaskSpec:
+    """Particle push + moment gather: the dominant per-step cost."""
+    return pfor_task(
+        (0, 0, 0),
+        particles.shape,
+        body=_noop_body,
+        reads=lambda box: {
+            e_field: box_region(e_field, box),
+            b_field: box_region(b_field, box),
+            particles: box_region(particles, box),
+        },
+        writes=lambda box: {
+            particles: box_region(particles, box),
+            xfer: box_region(xfer, box),
+        },
+        flops_per_element=ppc * workload.flops_per_particle_update,
+        granularity=granularity,
+        name=f"push{step}",
+    )
+
+
+def ipic3d_absorb_task(
+    step: int,
+    particles: Grid,
+    xfer: Grid,
+    workload: IPic3DWorkload,
+    ppc: float,
+    granularity: float | None = None,
+) -> TaskSpec:
+    """Absorb neighbors' crossing buffers into the local populations."""
+    return pfor_task(
+        (0, 0, 0),
+        particles.shape,
+        body=_noop_body,
+        reads=lambda box: {xfer: expand_box(xfer, box, 1)},
+        writes=lambda box: {particles: box_region(particles, box)},
+        flops_per_element=ppc * workload.crossing_fraction * 10.0,
+        granularity=granularity,
+        name=f"absorb{step}",
+    )
+
+
+def ipic3d_program(
+    workload: IPic3DWorkload,
+    nodes: int,
+    *,
+    cores_per_node: int = 20,
+    config: RuntimeConfig | None = None,
+) -> TaskProgram:
+    """The driver's exact submission structure, built without a runtime."""
+    config = config or RuntimeConfig()
+    shape = workload.field_shape(nodes)
+    cells = float(shape[0] * shape[1] * shape[2])
+    gran = loop_granularity(
+        cells,
+        nodes,
+        cores_per_node,
+        config.min_task_size,
+        config.oversubscription,
+    )
+    e_field, b_field, particles, xfer = _make_items(workload, nodes)
+    ppc = workload.particles_per_cell(nodes)
+    program = TaskProgram(f"ipic3d[{nodes}]")
+    for item, cost in (
+        (e_field, 3.0),
+        (b_field, 3.0),
+        (particles, ppc * 2.0),
+    ):
+        program.add_phase(ipic3d_init_task(item, cost, granularity=gran))
+    for step in range(workload.timesteps):
+        for dst, src in ((e_field, b_field), (b_field, e_field)):
+            program.add_phase(
+                ipic3d_field_task(step, dst, src, workload, granularity=gran)
+            )
+        program.add_phase(
+            ipic3d_push_task(
+                step,
+                e_field,
+                b_field,
+                particles,
+                xfer,
+                workload,
+                ppc,
+                granularity=gran,
+            )
+        )
+        program.add_phase(
+            ipic3d_absorb_task(
+                step, particles, xfer, workload, ppc, granularity=gran
+            )
+        )
+    return program
+
+
 def ipic3d_allscale(
     cluster: Cluster,
     workload: IPic3DWorkload,
@@ -124,73 +269,56 @@ def ipic3d_allscale(
     for item in (e_field, b_field, particles, xfer):
         runtime.register_item(item)
     ppc = workload.particles_per_cell(nodes)
+    cells = float(shape[0] * shape[1] * shape[2])
 
     def driver() -> Generator:
+        if runtime.balancer is not None:
+            runtime.balancer.start()
+        gran = default_granularity(runtime, cells)
         # initialization: spread fields and particle populations
         for item, cost in (
             (e_field, 3.0),
             (b_field, 3.0),
             (particles, ppc * 2.0),
         ):
-            init = pfor(
-                runtime,
-                (0, 0, 0),
-                shape,
-                body=lambda ctx, box: None,
-                writes=lambda box, g=item: {g: box_region(g, box)},
-                flops_per_element=cost,
-                name=f"init.{item.name}",
+            init = runtime.submit(
+                ipic3d_init_task(item, cost, granularity=gran)
             )
             yield init.future
         t0 = runtime.now
         for step in range(workload.timesteps):
             # 1. field solve: E reads B's halo and vice versa
             for dst, src in ((e_field, b_field), (b_field, e_field)):
-                sweep = pfor(
-                    runtime,
-                    (0, 0, 0),
-                    shape,
-                    body=lambda ctx, box: None,
-                    reads=lambda box, g=src: {g: expand_box(g, box, 1)},
-                    writes=lambda box, g=dst: {g: box_region(g, box)},
-                    flops_per_element=workload.flops_per_field_cell / 2.0,
-                    name=f"field{step}.{dst.name}",
+                sweep = runtime.submit(
+                    ipic3d_field_task(
+                        step, dst, src, workload, granularity=gran
+                    )
                 )
                 yield sweep.future
             # 2. particle push + moments: per-cell cost ∝ population;
             #    reads local fields, emits crossing buffers
-            push = pfor(
-                runtime,
-                (0, 0, 0),
-                shape,
-                body=lambda ctx, box: None,
-                reads=lambda box: {
-                    e_field: box_region(e_field, box),
-                    b_field: box_region(b_field, box),
-                    particles: box_region(particles, box),
-                },
-                writes=lambda box: {
-                    particles: box_region(particles, box),
-                    xfer: box_region(xfer, box),
-                },
-                flops_per_element=ppc * workload.flops_per_particle_update,
-                name=f"push{step}",
+            push = runtime.submit(
+                ipic3d_push_task(
+                    step,
+                    e_field,
+                    b_field,
+                    particles,
+                    xfer,
+                    workload,
+                    ppc,
+                    granularity=gran,
+                )
             )
             yield push.future
             # 3. particle exchange: absorb neighbors' crossing buffers
-            absorb = pfor(
-                runtime,
-                (0, 0, 0),
-                shape,
-                body=lambda ctx, box: None,
-                reads=lambda box: {xfer: expand_box(xfer, box, 1)},
-                writes=lambda box: {particles: box_region(particles, box)},
-                flops_per_element=ppc
-                * workload.crossing_fraction
-                * 10.0,
-                name=f"absorb{step}",
+            absorb = runtime.submit(
+                ipic3d_absorb_task(
+                    step, particles, xfer, workload, ppc, granularity=gran
+                )
             )
             yield absorb.future
+        if runtime.balancer is not None:
+            runtime.balancer.stop()
         return runtime.now - t0
 
     result_future = runtime.spawn(driver())

@@ -23,7 +23,9 @@ from typing import Generator
 
 import numpy as np
 
-from repro.api import expand_box, box_region, pfor
+from repro.analysis.program import TaskProgram
+from repro.api import expand_box, box_region, pfor_task
+from repro.api.prec import default_granularity, loop_granularity
 from repro.apps.common import AppResult
 from repro.items.grid import Grid, GridFragment
 from repro.mpi.comm import Communicator
@@ -33,6 +35,7 @@ from repro.regions.box import Box, grid_block_decomposition
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.policies import SchedulingPolicy
 from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
 from repro.sim.cluster import Cluster
 
 
@@ -104,6 +107,90 @@ def _step_body(src: Grid, dst: Grid, c: float, shape: tuple[int, int]):
     return body
 
 
+def stencil_init_task(
+    grid: Grid, granularity: float | None = None
+) -> TaskSpec:
+    """The initialization sweep of one buffer (Fig. 6b lines 5-7)."""
+    return pfor_task(
+        (0, 0),
+        grid.shape,
+        body=_init_body(grid),
+        writes=lambda box, g=grid: {g: box_region(g, box)},
+        flops_per_element=2.0,
+        granularity=granularity,
+        name=f"init.{grid.name}",
+    )
+
+
+def stencil_step_task(
+    step: int,
+    src: Grid,
+    dst: Grid,
+    workload: StencilWorkload,
+    granularity: float | None = None,
+) -> TaskSpec:
+    """One interior update sweep ``src -> dst`` (Fig. 6b lines 10-17)."""
+    shape = src.shape
+    rows, cols = shape
+    return pfor_task(
+        (1, 1),
+        (rows - 1, cols - 1),
+        body=_step_body(src, dst, workload.diffusion, shape),
+        reads=lambda box, g=src: {g: expand_box(g, box, 1)},
+        writes=lambda box, g=dst: {g: box_region(g, box)},
+        flops_per_element=workload.flops_per_cell,
+        granularity=granularity,
+        name=f"step{step}",
+    )
+
+
+def stencil_program(
+    workload: StencilWorkload,
+    nodes: int,
+    *,
+    cores_per_node: int = 20,
+    config: RuntimeConfig | None = None,
+) -> TaskProgram:
+    """The driver's exact submission structure, built without a runtime.
+
+    Phases mirror :func:`stencil_allscale`'s treeture barriers: one phase
+    per initialization sweep, one per timestep.  Task names and
+    granularities match what the driver submits (same builders, same
+    :func:`~repro.api.prec.loop_granularity`), so an offline placement
+    plan extracted from this program pins the runtime's real tasks.
+    """
+    config = config or RuntimeConfig()
+    shape = workload.global_shape(nodes)
+    rows, cols = shape
+
+    def gran(total: float) -> float:
+        return loop_granularity(
+            total,
+            nodes,
+            cores_per_node,
+            config.min_task_size,
+            config.oversubscription,
+        )
+
+    grid_a = Grid(shape, name="stencil.A")
+    grid_b = Grid(shape, name="stencil.B")
+    program = TaskProgram(f"stencil[{nodes}]")
+    for grid in (grid_a, grid_b):
+        program.add_phase(
+            stencil_init_task(grid, granularity=gran(float(rows * cols)))
+        )
+    interior = float((rows - 2) * (cols - 2))
+    src, dst = grid_a, grid_b
+    for step in range(workload.timesteps):
+        program.add_phase(
+            stencil_step_task(
+                step, src, dst, workload, granularity=gran(interior)
+            )
+        )
+        src, dst = dst, src
+    return program
+
+
 def stencil_allscale(
     cluster: Cluster,
     workload: StencilWorkload,
@@ -125,37 +212,39 @@ def stencil_allscale(
     grid_b = Grid(shape, name="stencil.B")
     runtime.register_item(grid_a)
     runtime.register_item(grid_b)
-    c = workload.diffusion
 
     def driver() -> Generator:
+        if runtime.balancer is not None:
+            runtime.balancer.start()
         # initialization phase (Fig. 6b lines 5-7): first-touch spreads A
         # and B across the nodes through the scheduling policy
         for grid in (grid_a, grid_b):
-            init = pfor(
-                runtime,
-                (0, 0),
-                shape,
-                body=_init_body(grid),
-                writes=lambda box, g=grid: {g: box_region(g, box)},
-                flops_per_element=2.0,
-                name=f"init.{grid.name}",
+            init = runtime.submit(
+                stencil_init_task(
+                    grid,
+                    granularity=default_granularity(
+                        runtime, float(rows * cols)
+                    ),
+                )
             )
             yield init.future
         t0 = runtime.now
+        interior = float((rows - 2) * (cols - 2))
         src, dst = grid_a, grid_b
         for step in range(workload.timesteps):
-            sweep = pfor(
-                runtime,
-                (1, 1),
-                (rows - 1, cols - 1),
-                body=_step_body(src, dst, c, shape),
-                reads=lambda box, g=src: {g: expand_box(g, box, 1)},
-                writes=lambda box, g=dst: {g: box_region(g, box)},
-                flops_per_element=workload.flops_per_cell,
-                name=f"step{step}",
+            sweep = runtime.submit(
+                stencil_step_task(
+                    step,
+                    src,
+                    dst,
+                    workload,
+                    granularity=default_granularity(runtime, interior),
+                )
             )
             yield sweep.future  # the swap(A, B) barrier of Fig. 6b line 18
             src, dst = dst, src
+        if runtime.balancer is not None:
+            runtime.balancer.stop()
         return runtime.now - t0, src
 
     result_future = runtime.spawn(driver())

@@ -37,6 +37,7 @@ from typing import Generator
 
 import numpy as np
 
+from repro.analysis.program import TaskProgram
 from repro.apps.common import AppResult
 from repro.apps.stencil import replace_functional
 from repro.items.kdtree import (
@@ -261,6 +262,93 @@ def _plan_top(
 # ---------------------------------------------------------------------------
 
 
+def tpc_batch_task(problem: TPCProblem, batch: list[int]) -> TaskSpec:
+    """The task tree of one query batch (module-level so the offline
+    placement planner can build the same specs the driver submits)."""
+    workload = problem.workload
+    # the root's requirement must subsume its children's (the spawn
+    # rule's precondition): the union of every sub-tree any batched
+    # query descends into.  Without it the band children's reads
+    # escape the root — the static analyzer's coverage check flags
+    # exactly that (see tests/test_analysis_apps.py).
+    batch_roots = sorted(
+        {root for qi in batch for root in problem.plans[qi].recurse_roots}
+    )
+    batch_reads = problem.item.empty_region()
+    for root in batch_roots:
+        batch_reads = batch_reads.union(problem.item.subtree_region(root))
+
+    def splitter() -> list[TaskSpec]:
+        children: list[TaskSpec] = []
+        top_flops = sum(
+            problem.plans[qi].top_visits for qi in batch
+        ) * workload.visit_flops
+        top_count = sum(problem.plans[qi].top_count for qi in batch)
+        children.append(
+            TaskSpec(
+                name=f"tpc.top[{batch[0]}..]",
+                flops=top_flops,
+                size_hint=1.0,
+                body=lambda ctx, v=top_count: v,
+                body_in_virtual=True,
+            )
+        )
+        # one child per touched sub-tree, carrying every batched query
+        # that needs it — task_batch=1 reproduces the paper's prototype
+        per_root: dict[int, tuple[float, float]] = {}
+        for qi in batch:
+            for root in problem.plans[qi].recurse_roots:
+                flops, count = problem.band_work[(qi, root)]
+                agg = per_root.get(root, (0.0, 0.0))
+                per_root[root] = (agg[0] + flops, agg[1] + count)
+        for root, (flops, count) in sorted(per_root.items()):
+            children.append(
+                TaskSpec(
+                    name=f"tpc.band{root}[{batch[0]}..]",
+                    reads={problem.item: problem.item.subtree_region(root)},
+                    flops=flops,
+                    size_hint=1.0,
+                    body=lambda ctx, v=count: v,
+                    body_in_virtual=True,
+                )
+            )
+        return children
+
+    return TaskSpec(
+        name=f"tpc.query[{batch[0]}..{batch[-1]}]",
+        reads=(
+            {problem.item: batch_reads}
+            if not batch_reads.is_empty()
+            else {}
+        ),
+        size_hint=float(len(batch) + 2),
+        granularity=1.0,
+        splitter=splitter,
+        combiner=lambda values: float(sum(values)),
+    )
+
+
+def tpc_program(problem: TPCProblem) -> TaskProgram:
+    """The driver's exact submission structure, built without a runtime.
+
+    One phase per submission wave — batches within a wave are submitted
+    concurrently, waves are separated by an ``all_of`` barrier, exactly
+    like :func:`tpc_allscale`'s driver.
+    """
+    workload = problem.workload
+    batches = _query_batches(problem, workload.task_batch)
+    waves = max(1, min(workload.submission_waves, len(batches)))
+    per_wave = (len(batches) + waves - 1) // waves
+    program = TaskProgram(f"tpc[{problem.nodes}]")
+    for wave in range(waves):
+        chunk = batches[wave * per_wave : (wave + 1) * per_wave]
+        if chunk:
+            program.add_phase(
+                *[tpc_batch_task(problem, batch) for batch in chunk]
+            )
+    return program
+
+
 def tpc_allscale(
     cluster: Cluster,
     workload: TPCWorkload,
@@ -278,69 +366,9 @@ def tpc_allscale(
     runtime.register_item(problem.item, placement=problem.placement)
     batches = _query_batches(problem, workload.task_batch)
 
-    def batch_task(batch: list[int]) -> TaskSpec:
-        # the root's requirement must subsume its children's (the spawn
-        # rule's precondition): the union of every sub-tree any batched
-        # query descends into.  Without it the band children's reads
-        # escape the root — the static analyzer's coverage check flags
-        # exactly that (see tests/test_analysis_apps.py).
-        batch_roots = sorted(
-            {root for qi in batch for root in problem.plans[qi].recurse_roots}
-        )
-        batch_reads = problem.item.empty_region()
-        for root in batch_roots:
-            batch_reads = batch_reads.union(problem.item.subtree_region(root))
-
-        def splitter() -> list[TaskSpec]:
-            children: list[TaskSpec] = []
-            top_flops = sum(
-                problem.plans[qi].top_visits for qi in batch
-            ) * workload.visit_flops
-            top_count = sum(problem.plans[qi].top_count for qi in batch)
-            children.append(
-                TaskSpec(
-                    name=f"tpc.top[{batch[0]}..]",
-                    flops=top_flops,
-                    size_hint=1.0,
-                    body=lambda ctx, v=top_count: v,
-                    body_in_virtual=True,
-                )
-            )
-            # one child per touched sub-tree, carrying every batched query
-            # that needs it — task_batch=1 reproduces the paper's prototype
-            per_root: dict[int, tuple[float, float]] = {}
-            for qi in batch:
-                for root in problem.plans[qi].recurse_roots:
-                    flops, count = problem.band_work[(qi, root)]
-                    agg = per_root.get(root, (0.0, 0.0))
-                    per_root[root] = (agg[0] + flops, agg[1] + count)
-            for root, (flops, count) in sorted(per_root.items()):
-                children.append(
-                    TaskSpec(
-                        name=f"tpc.band{root}[{batch[0]}..]",
-                        reads={problem.item: problem.item.subtree_region(root)},
-                        flops=flops,
-                        size_hint=1.0,
-                        body=lambda ctx, v=count: v,
-                        body_in_virtual=True,
-                    )
-                )
-            return children
-
-        return TaskSpec(
-            name=f"tpc.query[{batch[0]}..{batch[-1]}]",
-            reads=(
-                {problem.item: batch_reads}
-                if not batch_reads.is_empty()
-                else {}
-            ),
-            size_hint=float(len(batch) + 2),
-            granularity=1.0,
-            splitter=splitter,
-            combiner=lambda values: float(sum(values)),
-        )
-
     def driver() -> Generator:
+        if runtime.balancer is not None:
+            runtime.balancer.start()
         t0 = runtime.now
         waves = max(1, min(workload.submission_waves, len(batches)))
         per_wave = (len(batches) + waves - 1) // waves
@@ -349,7 +377,7 @@ def tpc_allscale(
             chunk = batches[wave * per_wave : (wave + 1) * per_wave]
             treetures = [
                 runtime.submit(
-                    batch_task(batch),
+                    tpc_batch_task(problem, batch),
                     origin=(wave * per_wave + k) % runtime.num_processes,
                 )
                 for k, batch in enumerate(chunk)
@@ -358,6 +386,8 @@ def tpc_allscale(
                 [t.future for t in treetures]
             )
             values.extend(wave_values)
+        if runtime.balancer is not None:
+            runtime.balancer.stop()
         return runtime.now - t0, values
 
     result_future = runtime.spawn(driver())

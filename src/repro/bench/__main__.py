@@ -79,6 +79,14 @@ def main(argv: list[str] | None = None) -> int:
         "print per-app host timing",
     )
     parser.add_argument(
+        "--placement",
+        action="store_true",
+        help="run the placement policy tournament: the offline planner "
+        "vs. data-aware/round-robin/random across all three apps and "
+        "three fat-tree topologies, reporting wall clock, messages, "
+        "bytes moved, and balancer migrations",
+    )
+    parser.add_argument(
         "--service",
         action="store_true",
         help="run the multi-tenant service panel: replay the committed "
@@ -174,6 +182,39 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"scaling check: {problem}")
                 return 1
             print("scaling check: matches committed baseline")
+            print()
+        if not (args.artifacts or args.sentinel or args.analyze):
+            return 0
+
+    if args.placement:
+        from repro.bench.placement import (
+            check_panel as check_placement,
+            load_baseline as load_placement_baseline,
+            placement_panel,
+            render_placement_leaderboard,
+            semantic_problems as placement_semantic_problems,
+            write_baseline as write_placement_baseline,
+        )
+
+        panel = placement_panel(quick=args.quick, smoke=args.smoke)
+        print(render_placement_leaderboard(panel))
+        print()
+        if args.write_baseline:
+            problems = placement_semantic_problems(panel)
+            if problems:
+                for problem in problems:
+                    print(f"placement panel: {problem}")
+                return 1
+            path = write_placement_baseline(panel)
+            print(f"wrote {path}")
+            print()
+        if args.check:
+            problems = check_placement(panel, load_placement_baseline())
+            if problems:
+                for problem in problems:
+                    print(f"placement check: {problem}")
+                return 1
+            print("placement check: matches committed baseline")
             print()
         if not (args.artifacts or args.sentinel or args.analyze):
             return 0

@@ -1,0 +1,464 @@
+"""The ``--placement`` panel: offline planner vs. online policies.
+
+A policy *tournament*: every application × topology × policy combination
+runs the same workload, and the leaderboard reports simulated wall
+clock, message count, bytes moved (wire payload plus migrated/replicated
+fragment bytes), and load-balancer migrations.  The contenders:
+
+* ``planned`` — :class:`~repro.placement.policy.PlannedPolicy` carrying
+  a fresh offline :class:`~repro.placement.plan.PlacementPlan` solved
+  per app × topology;
+* ``data-aware`` — the runtime's default online policy;
+* ``round-robin`` / ``random`` — the scheduler-ablation baselines.
+
+The online policies are deliberately *shared instances* across all
+races: the ``reset()`` contract (invoked at runtime construction) must
+make back-to-back runs identical, and this panel's exact-match baseline
+is the standing proof.
+
+Results are pinned in ``BENCH_placement_baseline.json``.  ``--check``
+demands exact simulated values (the simulator is deterministic) and
+enforces the planner's headline guarantee: ``planned`` moves strictly
+fewer bytes than both ablation baselines for every application.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.apps.common import AppResult
+from repro.apps.ipic3d import IPic3DWorkload, ipic3d_allscale, ipic3d_program
+from repro.apps.stencil import StencilWorkload, stencil_allscale, stencil_program
+from repro.apps.tpc import (
+    TPCProblem,
+    TPCWorkload,
+    make_problem,
+    tpc_allscale,
+    tpc_program,
+)
+from repro.bench.scaling import panel_mode
+from repro.placement import PlannedPolicy, plan_placement
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.policies import (
+    DataAwarePolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+)
+from repro.sim.cluster import Cluster, ClusterSpec, meggie_like_spec
+
+#: schema version of the JSON baseline; bump on any section-shape change
+PLACEMENT_SCHEMA_VERSION = 1
+
+#: committed location of the pinned tournament
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "BENCH_placement_baseline.json"
+)
+
+#: relative host wall-clock regression ``--check`` tolerates
+ELAPSED_TOLERANCE = 0.20
+
+#: name → (node count, fat-tree switch radix).  Three shapes: a single
+#: edge-switch group, a deep skinny tree (every hop counts), and a wide
+#: two-level machine.
+TOPOLOGIES: dict[str, tuple[int, int]] = {
+    "edge4": (4, 16),
+    "deep8": (8, 2),
+    "wide16": (16, 4),
+}
+
+POLICIES = ("planned", "data-aware", "round-robin", "random")
+
+#: cores per node for every tournament cluster.  Placement quality is a
+#: cross-*node* story; meggie's 20 cores only multiply the leaf-task and
+#: message counts (the worst 16-node races get ~10x slower to simulate)
+#: without changing who wins.
+TOURNAMENT_CORES = 4
+
+
+@dataclass
+class RaceResult:
+    """One policy's metrics on one app × topology race."""
+
+    app: str
+    topology: str
+    policy: str
+    #: simulated seconds (exact, deterministic)
+    elapsed: float
+    messages: float
+    bytes_moved: float
+    migrations: float
+    preplaced: float
+
+    def values(self) -> dict[str, float]:
+        return {
+            "elapsed": self.elapsed,
+            "messages": self.messages,
+            "bytes_moved": self.bytes_moved,
+            "migrations": self.migrations,
+            "preplaced": self.preplaced,
+        }
+
+
+@dataclass
+class PlacementPanel:
+    """One complete tournament at one mode."""
+
+    mode: str
+    results: list[RaceResult] = field(default_factory=list)
+    #: (app, topology) → planner digest
+    plans: dict[str, dict] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def race(self, app: str, topology: str, policy: str) -> RaceResult:
+        for result in self.results:
+            if (result.app, result.topology, result.policy) == (
+                app,
+                topology,
+                policy,
+            ):
+                return result
+        raise KeyError(f"no race {app}/{topology}/{policy}")
+
+
+def _spec(nodes: int, radix: int) -> ClusterSpec:
+    return replace(
+        meggie_like_spec(nodes),
+        switch_radix=radix,
+        cores_per_node=TOURNAMENT_CORES,
+    )
+
+
+def _config(balancer_interval: float) -> RuntimeConfig:
+    return RuntimeConfig(
+        functional=False,
+        oversubscription=2,
+        load_balancing=True,
+        balancer_interval=balancer_interval,
+    )
+
+
+@dataclass
+class _AppSetup:
+    """One app's workload, program builder, and driver at one mode."""
+
+    name: str
+    #: balancer period, scaled to the app's simulated duration
+    balancer_interval: float
+    program: object  # Callable[[int], TaskProgram]
+    run: object  # Callable[[ClusterSpec, SchedulingPolicy], AppResult]
+
+
+def _apps(mode: str) -> list[_AppSetup]:
+    if mode == "full":
+        stencil_wl = StencilWorkload(
+            n_per_node=2_000, timesteps=3, functional=False
+        )
+        ipic3d_wl = IPic3DWorkload(
+            particles_per_node=24_000_000, cells_per_node_side=6, timesteps=2
+        )
+        tpc_wl = TPCWorkload(
+            total_points=2**27,
+            depth=14,
+            queries_total=96,
+            functional=False,
+            visit_flops=150.0,
+            point_flops=30.0,
+            task_subtree_height=8,
+        )
+    elif mode == "quick":
+        stencil_wl = StencilWorkload(
+            n_per_node=1_000, timesteps=2, functional=False
+        )
+        ipic3d_wl = IPic3DWorkload(
+            particles_per_node=12_000_000, cells_per_node_side=4, timesteps=2
+        )
+        tpc_wl = TPCWorkload(
+            total_points=2**25,
+            depth=12,
+            queries_total=64,
+            functional=False,
+            visit_flops=150.0,
+            point_flops=30.0,
+            task_subtree_height=7,
+        )
+    else:  # smoke
+        stencil_wl = StencilWorkload(
+            n_per_node=500, timesteps=2, functional=False
+        )
+        ipic3d_wl = IPic3DWorkload(
+            particles_per_node=6_000_000, cells_per_node_side=4, timesteps=1
+        )
+        tpc_wl = TPCWorkload(
+            total_points=2**23,
+            depth=10,
+            queries_total=32,
+            functional=False,
+            visit_flops=150.0,
+            point_flops=30.0,
+            task_subtree_height=6,
+        )
+
+    problems: dict[int, TPCProblem] = {}
+
+    def tpc_problem(nodes: int) -> TPCProblem:
+        if nodes not in problems:
+            problems[nodes] = make_problem(tpc_wl, nodes)
+        return problems[nodes]
+
+    def run_stencil(spec: ClusterSpec, policy: SchedulingPolicy) -> AppResult:
+        return stencil_allscale(
+            Cluster(spec), stencil_wl, _config(2e-4), policy
+        )
+
+    def run_ipic3d(spec: ClusterSpec, policy: SchedulingPolicy) -> AppResult:
+        return ipic3d_allscale(
+            Cluster(spec), ipic3d_wl, _config(20.0), policy
+        )
+
+    def run_tpc(spec: ClusterSpec, policy: SchedulingPolicy) -> AppResult:
+        return tpc_allscale(
+            Cluster(spec),
+            tpc_wl,
+            _config(2e-3),
+            policy,
+            problem=tpc_problem(spec.num_nodes),
+        )
+
+    return [
+        _AppSetup(
+            "stencil",
+            2e-4,
+            lambda nodes: stencil_program(
+                stencil_wl, nodes, cores_per_node=TOURNAMENT_CORES
+            ),
+            run_stencil,
+        ),
+        _AppSetup(
+            "ipic3d",
+            20.0,
+            lambda nodes: ipic3d_program(
+                ipic3d_wl, nodes, cores_per_node=TOURNAMENT_CORES
+            ),
+            run_ipic3d,
+        ),
+        _AppSetup(
+            "tpc",
+            2e-3,
+            lambda nodes: tpc_program(tpc_problem(nodes)),
+            run_tpc,
+        ),
+    ]
+
+
+def _measure(
+    app: str, topology: str, policy_name: str, result: AppResult
+) -> RaceResult:
+    runtime = result.extras["runtime"]
+    counters = runtime.metrics
+    return RaceResult(
+        app=app,
+        topology=topology,
+        policy=policy_name,
+        elapsed=result.elapsed,
+        messages=counters.counter("net.messages"),
+        bytes_moved=(
+            counters.counter("net.bytes") + runtime.data_bytes_moved()
+        ),
+        migrations=counters.counter("balancer.migrations"),
+        preplaced=counters.counter("placement.preplaced_items"),
+    )
+
+
+def placement_panel(
+    quick: bool = False, smoke: bool = False
+) -> PlacementPanel:
+    """Run the full tournament: apps × topologies × policies."""
+    mode = panel_mode(quick, smoke)
+    panel = PlacementPanel(mode=mode)
+    started = time.perf_counter()
+    # shared across every race on purpose: reset() must isolate runs
+    online: dict[str, SchedulingPolicy] = {
+        "data-aware": DataAwarePolicy(),
+        "round-robin": RoundRobinPolicy(),
+        "random": RandomPolicy(seed=0),
+    }
+    for setup in _apps(mode):
+        for topo_name, (nodes, radix) in TOPOLOGIES.items():
+            spec = _spec(nodes, radix)
+            plan = plan_placement(setup.program(nodes), Cluster(spec))
+            panel.plans[f"{setup.name}/{topo_name}"] = plan.summary()
+            for policy_name in POLICIES:
+                policy: SchedulingPolicy
+                if policy_name == "planned":
+                    policy = PlannedPolicy(plan)
+                else:
+                    policy = online[policy_name]
+                panel.results.append(
+                    _measure(
+                        setup.name,
+                        topo_name,
+                        policy_name,
+                        setup.run(spec, policy),
+                    )
+                )
+    panel.wall_seconds = time.perf_counter() - started
+    return panel
+
+
+def semantic_problems(panel: PlacementPanel) -> list[str]:
+    """The planner's headline claims, independent of any baseline.
+
+    ``planned`` must move strictly fewer bytes than *both* ablation
+    baselines on every app × topology, and must pre-distribute at least
+    one item everywhere (proof the plan actually engaged).
+    """
+    problems: list[str] = []
+    for setup_app in ("stencil", "ipic3d", "tpc"):
+        for topo_name in TOPOLOGIES:
+            try:
+                planned = panel.race(setup_app, topo_name, "planned")
+            except KeyError:
+                problems.append(f"{setup_app}/{topo_name}: planned race missing")
+                continue
+            if planned.preplaced < 1:
+                problems.append(
+                    f"{setup_app}/{topo_name}: plan pre-placed no items"
+                )
+            for rival_name in ("round-robin", "random"):
+                rival = panel.race(setup_app, topo_name, rival_name)
+                if not planned.bytes_moved < rival.bytes_moved:
+                    problems.append(
+                        f"{setup_app}/{topo_name}: planned moved "
+                        f"{planned.bytes_moved:.0f} bytes, not fewer than "
+                        f"{rival_name}'s {rival.bytes_moved:.0f}"
+                    )
+    return problems
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def panel_section(panel: PlacementPanel) -> dict:
+    races = [
+        {
+            "app": result.app,
+            "topology": result.topology,
+            "policy": result.policy,
+            **result.values(),
+        }
+        for result in panel.results
+    ]
+    return {
+        "topologies": {
+            name: {"nodes": nodes, "radix": radix}
+            for name, (nodes, radix) in TOPOLOGIES.items()
+        },
+        "races": races,
+        "plans": panel.plans,
+        "wall_seconds": round(panel.wall_seconds, 2),
+    }
+
+
+def load_baseline(path: pathlib.Path | None = None) -> dict | None:
+    path = path or BASELINE_PATH
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_baseline(
+    panel: PlacementPanel, path: pathlib.Path | None = None
+) -> pathlib.Path:
+    """Merge this run's section into the baseline file (kept per mode)."""
+    path = path or BASELINE_PATH
+    baseline = load_baseline(path) or {
+        "schema": PLACEMENT_SCHEMA_VERSION,
+        "modes": {},
+    }
+    baseline["schema"] = PLACEMENT_SCHEMA_VERSION
+    baseline["modes"][panel.mode] = panel_section(panel)
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_panel(panel: PlacementPanel, baseline: dict | None) -> list[str]:
+    """Exact-match the committed baseline, then the semantic claims."""
+    if baseline is None:
+        return [f"no baseline file at {BASELINE_PATH}"]
+    section = baseline.get("modes", {}).get(panel.mode)
+    if section is None:
+        return [f"baseline has no {panel.mode!r} section"]
+    problems: list[str] = []
+    pinned = {
+        (row["app"], row["topology"], row["policy"]): row
+        for row in section.get("races", ())
+    }
+    for result in panel.results:
+        key = (result.app, result.topology, result.policy)
+        row = pinned.get(key)
+        if row is None:
+            problems.append(f"{'/'.join(key)}: not in baseline")
+            continue
+        for metric, got in result.values().items():
+            want = row.get(metric)
+            if got != want:
+                problems.append(
+                    f"{'/'.join(key)} {metric}: output changed "
+                    f"(baseline {want!r}, run {got!r})"
+                )
+    for key in pinned:
+        if key not in {
+            (r.app, r.topology, r.policy) for r in panel.results
+        }:
+            problems.append(f"{'/'.join(key)}: in baseline but not run")
+    pinned_wall = section.get("wall_seconds")
+    if pinned_wall:
+        limit = pinned_wall * (1.0 + ELAPSED_TOLERANCE)
+        if panel.wall_seconds > limit:
+            problems.append(
+                f"wall clock regressed: {panel.wall_seconds:.1f}s vs "
+                f"baseline {pinned_wall:.1f}s "
+                f"(>{ELAPSED_TOLERANCE * 100.0:.0f}% over)"
+            )
+    problems.extend(semantic_problems(panel))
+    return problems
+
+
+def render_placement_leaderboard(panel: PlacementPanel) -> str:
+    """Per app × topology leaderboard, best simulated wall clock first."""
+    lines = [f"Placement tournament ({panel.mode})"]
+    header = (
+        f"  {'policy':<12} {'wall(sim)':>12} {'messages':>10} "
+        f"{'bytes moved':>14} {'migrations':>10}"
+    )
+    for setup_app in ("stencil", "ipic3d", "tpc"):
+        for topo_name, (nodes, radix) in TOPOLOGIES.items():
+            rows = sorted(
+                (
+                    r
+                    for r in panel.results
+                    if r.app == setup_app and r.topology == topo_name
+                ),
+                key=lambda r: (r.elapsed, r.policy),
+            )
+            if not rows:
+                continue
+            lines.append(
+                f"{setup_app} @ {topo_name} "
+                f"({nodes} nodes, radix {radix})"
+            )
+            lines.append(header)
+            for row in rows:
+                lines.append(
+                    f"  {row.policy:<12} {row.elapsed:>12.6f} "
+                    f"{row.messages:>10.0f} {row.bytes_moved:>14.0f} "
+                    f"{row.migrations:>10.0f}"
+                )
+            lines.append("")
+    lines.append(f"(tournament ran in {panel.wall_seconds:.1f}s wall time)")
+    return "\n".join(lines)

@@ -15,28 +15,54 @@ are left alone.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Generator
 
 from repro.regions.base import Region
 from repro.regions.box import Box, BoxSetRegion
-from repro.regions.interval import IntervalRegion, split_interval_region
+from repro.regions.interval import Interval, IntervalRegion
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.runtime import AllScaleRuntime
 
 
+def _carve_box(box: Box, want: int) -> list[Box]:
+    """Boxes covering exactly ``want`` elements of ``box`` (0 < want < size).
+
+    Takes whole slabs along the widest axis, then recurses into a single
+    one-thick slab for the remainder; the rank drops each recursion, so
+    the 1-D base case lands on ``want`` exactly.
+    """
+    widths = box.widths()
+    axis = max(range(len(widths)), key=widths.__getitem__)
+    row = box.size() // widths[axis]
+    full, rem = divmod(want, row)
+    pieces: list[Box] = []
+    rest = box
+    if full:
+        piece, rest = box.split(axis, box.lo[axis] + full)
+        pieces.append(piece)
+    if rem:
+        slab, _ = rest.split(axis, rest.lo[axis] + 1)
+        pieces.extend(_carve_box(slab, rem))
+    return pieces
+
+
 def take_slice(region: Region, fraction: float) -> Region | None:
-    """Carve roughly ``fraction`` of ``region`` off as a contiguous slice.
+    """Carve ``ceil(size * fraction)`` elements of ``region`` off as a slice.
 
     Returns ``None`` for region types without a slicing strategy or when
-    the region is too small to split.
+    the region is too small to split (the slice must leave a non-empty
+    remainder behind).
     """
     if not 0.0 < fraction < 1.0:
         raise ValueError(f"fraction must be in (0, 1), got {fraction}")
     if isinstance(region, BoxSetRegion):
         if region.is_empty():
             return None
-        target = max(1, int(region.size() * fraction))
+        target = min(region.size() - 1, math.ceil(region.size() * fraction))
+        if target < 1:
+            return None
         taken: list[Box] = []
         got = 0
         for box in sorted(region.boxes, key=lambda b: (-b.size(), b.lo)):
@@ -45,27 +71,26 @@ def take_slice(region: Region, fraction: float) -> Region | None:
             if box.size() <= target - got:
                 taken.append(box)
                 got += box.size()
-                continue
-            widths = box.widths()
-            axis = max(range(len(widths)), key=widths.__getitem__)
-            want_rows = max(1, (target - got) * widths[axis] // box.size())
-            if want_rows >= widths[axis]:
-                taken.append(box)
-                got += box.size()
             else:
-                piece, _rest = box.split(axis, box.lo[axis] + want_rows)
-                taken.append(piece)
-                got += piece.size()
+                taken.extend(_carve_box(box, target - got))
+                got = target
         result = BoxSetRegion(taken)
         if result.is_empty() or result.size() >= region.size():
             return None
         return result
     if isinstance(region, IntervalRegion):
-        if region.size() < 2:
+        want = min(region.size() - 1, math.ceil(region.size() * fraction))
+        if want < 1:
             return None
-        parts = max(2, round(1.0 / fraction))
-        chunks = split_interval_region(region, parts)
-        return chunks[0] if not chunks[0].is_empty() else None
+        taken_ivs: list[Interval] = []
+        got = 0
+        for iv in region.intervals:
+            if got >= want:
+                break
+            take = min(iv.size(), want - got)
+            taken_ivs.append(Interval(iv.lo, iv.lo + take))
+            got += take
+        return IntervalRegion(taken_ivs)
     return None
 
 

@@ -69,6 +69,16 @@ class RuntimeConfig:
     #: service settles the overrun at job completion.
     job_node_seconds_cap: float | None = None
 
+    # -- load balancing (repro.runtime.balancer) ---------------------------------
+    #: create a periodic data-migration load balancer at runtime
+    #: construction (drivers start/stop it around their measured phase);
+    #: off by default — most benchmarks measure the scheduler alone
+    load_balancing: bool = False
+    #: sampling interval of the configured balancer, simulated seconds
+    balancer_interval: float = 0.01
+    #: busiest/mean load ratio that triggers a migration
+    balancer_threshold: float = 1.5
+
     # -- scheduling policy -------------------------------------------------------
     #: target number of leaf tasks per core (oversubscription factor)
     oversubscription: int = 4
@@ -93,6 +103,10 @@ class RuntimeConfig:
                 raise ValueError(f"{name} must be >= 0")
         if self.replica_cache_bytes is not None and self.replica_cache_bytes <= 0:
             raise ValueError("replica_cache_bytes must be positive or None")
+        if self.balancer_interval <= 0:
+            raise ValueError("balancer_interval must be positive")
+        if self.balancer_threshold <= 1.0:
+            raise ValueError("balancer_threshold must exceed 1.0")
         if (
             self.job_node_seconds_cap is not None
             and self.job_node_seconds_cap < 0

@@ -518,12 +518,15 @@ class DataItemManager:
             finally:
                 self._clear_fetching(item, missing)
         missing = want.difference(self.present_region(item))
-        if not missing.is_empty():
-            raise RuntimeError(
-                f"process {self.pid} could not materialize "
-                f"{missing.size()} read elements of {item.name!r} after "
-                "repeated attempts (ownership thrashing?)"
-            )
+        if missing.is_empty():
+            return
+        # every replica fetch lost the race against concurrent ownership
+        # migration (an aggressive load balancer can keep a region moving
+        # faster than one fetch round-trip).  Escalate from replication
+        # to migration: ownership handover is atomic at export time, so a
+        # pull cannot be outrun the way a copy can.
+        runtime.metrics.incr("dm.read_escalations")
+        yield from self._acquire_ownership(item, missing, task=task, plan=plan)
 
     def _replicate_sequential(
         self,

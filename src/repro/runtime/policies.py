@@ -55,6 +55,15 @@ class SchedulingPolicy(ABC):
     def pick_target(self, task: TaskSpec, ctx: PlacementContext) -> int:
         """Return the process id to enqueue at (Algorithm 2, line 12)."""
 
+    def reset(self) -> None:
+        """Forget run-local state; invoked at runtime construction.
+
+        Policy instances are routinely reused across runtimes (the
+        scheduler-ablation benchmarks race one instance over many runs);
+        any cursor or RNG state carried over would make the second run
+        depend on the first.  Stateless policies inherit this no-op.
+        """
+
     # -- shared granularity logic ------------------------------------------------
 
     def _should_split(self, task: TaskSpec, runtime: "AllScaleRuntime") -> bool:
@@ -144,6 +153,9 @@ class RoundRobinPolicy(SchedulingPolicy):
     def __init__(self) -> None:
         self._next = 0
 
+    def reset(self) -> None:
+        self._next = 0
+
     def pick_variant(self, task: TaskSpec, runtime: "AllScaleRuntime") -> str:
         return "split" if self._should_split(task, runtime) else "leaf"
 
@@ -157,7 +169,11 @@ class RandomPolicy(SchedulingPolicy):
     """Uniformly random placement (ablation baseline)."""
 
     def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
         self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
 
     def pick_variant(self, task: TaskSpec, runtime: "AllScaleRuntime") -> str:
         return "split" if self._should_split(task, runtime) else "leaf"

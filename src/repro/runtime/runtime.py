@@ -47,6 +47,9 @@ class AllScaleRuntime:
         self.cluster = cluster
         self.config = config or RuntimeConfig()
         self.policy = policy or DataAwarePolicy()
+        # policies are reused across runtimes (the placement tournament
+        # races one instance over many runs) — drop any run-local state
+        self.policy.reset()
         self.engine = cluster.engine
         self.network = cluster.network
         self.metrics = cluster.metrics
@@ -82,6 +85,18 @@ class AllScaleRuntime:
         #: set by the service layer when this runtime executes one tenant
         #: job over a shared cluster
         self.job_context = None
+        #: optional periodic load balancer; created (but not started) when
+        #: the config asks for it — drivers start it around the measured
+        #: phase and stop it before returning, so the event loop drains
+        self.balancer = None
+        if self.config.load_balancing:
+            from repro.runtime.balancer import LoadBalancer
+
+            self.balancer = LoadBalancer(
+                self,
+                interval=self.config.balancer_interval,
+                imbalance_threshold=self.config.balancer_threshold,
+            )
         # kernel counters are process-wide; remember the creation-time
         # snapshot so this runtime's metrics report only its own activity
         self._region_stats_base = get_kernel().stats()
@@ -120,9 +135,21 @@ class AllScaleRuntime:
         and by apps that start from a known distribution).  Without it, no
         memory is allocated until first touch, exactly like the *create*
         rule.
+
+        A policy carrying an offline :class:`~repro.placement.plan.
+        PlacementPlan` (``planned_layout``) overrides both defaults: the
+        plan's layout for this item is pre-distributed, which is the
+        planner's whole point — data starts where the plan wants the
+        tasks to land.
         """
         if item in self._home_maps:
             raise ValueError(f"item {item.name!r} registered twice")
+        planned_layout = getattr(self.policy, "planned_layout", None)
+        if planned_layout is not None:
+            planned = planned_layout(item, self.num_processes)
+            if planned is not None:
+                placement = planned
+                self.metrics.incr("placement.preplaced_items")
         self.index.register_item(item)
         try:
             homes: list[Region] | None = item.decompose(self.num_processes)

@@ -232,6 +232,17 @@ class Scheduler:
     ) -> int:
         """Algorithm 2's placement cascade over an already-charged lookup."""
         runtime = self.runtime
+        # a policy holding an offline plan may pin this task; the pin wins
+        # whenever it sits inside the cascade tier that would fire anyway,
+        # so a plan can steer ties without weakening the coverage rules
+        preferred: int | None = None
+        preferred_fn = getattr(runtime.policy, "preferred_target", None)
+        if preferred_fn is not None:
+            preferred = preferred_fn(task)
+            if preferred is not None and not (
+                0 <= preferred < runtime.num_processes
+            ):
+                preferred = None
         target: int | None = None
         if lookup:
             # per-item owner shares are built once and reused by both
@@ -240,12 +251,15 @@ class Scheduler:
                 item: self._owner_shares(pieces)
                 for item, pieces in lookup.items()
             }
-            target = self._covering_all(task, shares)
+            target = self._covering_all(task, shares, preferred)
             if target is None:
-                target = self._covering_writes(task, shares)
+                target = self._covering_writes(task, shares, preferred)
         if target is None:
-            ctx = PlacementContext(runtime, origin, lookup)
-            target = runtime.policy.pick_target(task, ctx)
+            if preferred is not None:
+                target = preferred
+            else:
+                ctx = PlacementContext(runtime, origin, lookup)
+                target = runtime.policy.pick_target(task, ctx)
         if not (0 <= target < runtime.num_processes):
             raise ValueError(
                 f"policy chose invalid target {target} for {task.name!r}"
@@ -317,24 +331,31 @@ class Scheduler:
         return shares
 
     def _covering_all(
-        self, task: TaskSpec, shares: dict[DataItem, dict[int, Region]]
+        self,
+        task: TaskSpec,
+        shares: dict[DataItem, dict[int, Region]],
+        preferred: int | None = None,
     ) -> int | None:
         """Algorithm 2 line 4: a process covering every requirement."""
-        return self._covering(task, shares, writes_only=False)
+        return self._covering(task, shares, writes_only=False, preferred=preferred)
 
     def _covering_writes(
-        self, task: TaskSpec, shares: dict[DataItem, dict[int, Region]]
+        self,
+        task: TaskSpec,
+        shares: dict[DataItem, dict[int, Region]],
+        preferred: int | None = None,
     ) -> int | None:
         """Algorithm 2 line 7: a process covering all write requirements."""
         if not task.writes:
             return None
-        return self._covering(task, shares, writes_only=True)
+        return self._covering(task, shares, writes_only=True, preferred=preferred)
 
     def _covering(
         self,
         task: TaskSpec,
         shares: dict[DataItem, dict[int, Region]],
         writes_only: bool,
+        preferred: int | None = None,
     ) -> int | None:
         candidates: set[int] | None = None
         for item in task.accessed_items_ordered():
@@ -358,4 +379,6 @@ class Scheduler:
                 return None
         if not candidates:
             return None
+        if preferred is not None and preferred in candidates:
+            return preferred
         return min(candidates)

@@ -1,0 +1,183 @@
+"""Tests for the placement tournament's baseline bookkeeping.
+
+These use hand-built panels (the real tournament is exercised by the
+``--placement`` CLI and its committed baseline); what is under test here
+is the exact-match checking, the semantic planner guarantees, and the
+merge-per-mode baseline file handling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.placement import (
+    POLICIES,
+    TOPOLOGIES,
+    PlacementPanel,
+    RaceResult,
+    check_panel,
+    load_baseline,
+    panel_section,
+    render_placement_leaderboard,
+    semantic_problems,
+    write_baseline,
+)
+
+APPS = ("stencil", "ipic3d", "tpc")
+
+
+def _panel(mode="smoke"):
+    """A tournament where planned wins bytes everywhere, as required."""
+    panel = PlacementPanel(mode=mode)
+    for app_index, app in enumerate(APPS):
+        for topo_index, topo in enumerate(TOPOLOGIES):
+            base = 1000.0 * (1 + app_index) * (1 + topo_index)
+            for pol_index, policy in enumerate(POLICIES):
+                panel.results.append(
+                    RaceResult(
+                        app=app,
+                        topology=topo,
+                        policy=policy,
+                        elapsed=0.01 * (1 + pol_index),
+                        messages=100.0 + 10 * pol_index,
+                        # planned (index 0) strictly lowest
+                        bytes_moved=base * (1 + pol_index),
+                        migrations=float(pol_index),
+                        preplaced=2.0 if policy == "planned" else 0.0,
+                    )
+                )
+            panel.plans[f"{app}/{topo}"] = {"processes": 4, "pins": 7}
+    panel.wall_seconds = 10.0
+    return panel
+
+
+def _replace_race(panel, app, topo, policy, **changes):
+    for index, result in enumerate(panel.results):
+        if (result.app, result.topology, result.policy) == (app, topo, policy):
+            panel.results[index] = dataclasses.replace(result, **changes)
+            return
+    raise AssertionError("race not found")
+
+
+class TestSemanticProblems:
+    def test_clean_panel(self):
+        assert semantic_problems(_panel()) == []
+
+    def test_planned_not_strictly_fewer_bytes(self):
+        panel = _panel()
+        rival = panel.race("ipic3d", "deep8", "round-robin")
+        _replace_race(
+            panel, "ipic3d", "deep8", "planned",
+            bytes_moved=rival.bytes_moved,
+        )
+        problems = semantic_problems(panel)
+        assert len(problems) == 1
+        assert "ipic3d/deep8" in problems[0]
+        assert "not fewer" in problems[0]
+
+    def test_plan_that_preplaced_nothing(self):
+        panel = _panel()
+        _replace_race(panel, "tpc", "edge4", "planned", preplaced=0.0)
+        problems = semantic_problems(panel)
+        assert problems == ["tpc/edge4: plan pre-placed no items"]
+
+    def test_missing_planned_race(self):
+        panel = _panel()
+        panel.results = [
+            r
+            for r in panel.results
+            if (r.app, r.topology, r.policy)
+            != ("stencil", "wide16", "planned")
+        ]
+        problems = semantic_problems(panel)
+        assert problems == ["stencil/wide16: planned race missing"]
+
+
+class TestBaselineRoundtrip:
+    def test_write_then_check_is_clean(self, tmp_path):
+        panel = _panel()
+        path = tmp_path / "baseline.json"
+        write_baseline(panel, path)
+        assert check_panel(panel, load_baseline(path)) == []
+
+    def test_modes_merge_not_overwrite(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(_panel(mode="smoke"), path)
+        write_baseline(_panel(mode="quick"), path)
+        baseline = load_baseline(path)
+        assert set(baseline["modes"]) == {"smoke", "quick"}
+        assert check_panel(_panel(mode="smoke"), baseline) == []
+
+    def test_missing_file_and_missing_mode(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") is None
+        problems = check_panel(_panel(), None)
+        assert problems and "no baseline" in problems[0]
+        path = tmp_path / "baseline.json"
+        write_baseline(_panel(mode="quick"), path)
+        problems = check_panel(_panel(mode="smoke"), load_baseline(path))
+        assert problems == ["baseline has no 'smoke' section"]
+
+
+class TestCheckPanel:
+    def test_detects_changed_metric(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(_panel(), path)
+        panel = _panel()
+        _replace_race(panel, "stencil", "edge4", "random", messages=999.0)
+        problems = check_panel(panel, load_baseline(path))
+        assert len(problems) == 1
+        assert "stencil/edge4/random messages" in problems[0]
+
+    def test_detects_race_missing_from_baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline_panel = _panel()
+        baseline_panel.results = [
+            r for r in baseline_panel.results if r.policy != "random"
+        ]
+        write_baseline(baseline_panel, path)
+        problems = check_panel(_panel(), load_baseline(path))
+        assert any("random: not in baseline" in p for p in problems)
+
+    def test_detects_baseline_race_not_run(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(_panel(), path)
+        panel = _panel()
+        panel.results = [r for r in panel.results if r.app != "tpc"]
+        problems = check_panel(panel, load_baseline(path))
+        assert any("in baseline but not run" in p for p in problems)
+        # the semantic layer flags the dropped planned races too
+        assert any("planned race missing" in p for p in problems)
+
+    def test_wall_clock_tolerance(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(_panel(), path)
+        panel = _panel()
+        panel.wall_seconds = 11.9  # +19%: inside the 20% band
+        assert check_panel(panel, load_baseline(path)) == []
+        panel.wall_seconds = 12.5  # +25%: regression
+        problems = check_panel(panel, load_baseline(path))
+        assert problems == [
+            "wall clock regressed: 12.5s vs baseline 10.0s (>20% over)"
+        ]
+
+
+class TestRendering:
+    def test_leaderboard_lists_every_race_best_first(self):
+        panel = _panel()
+        text = render_placement_leaderboard(panel)
+        for app in APPS:
+            for topo in TOPOLOGIES:
+                assert f"{app} @ {topo}" in text
+        # planned has the lowest synthetic wall clock → first row everywhere
+        for block in text.split("\n\n"):
+            lines = [line for line in block.splitlines() if line]
+            if lines and "@" in lines[0]:
+                assert lines[2].split()[0] == "planned"
+
+    def test_section_shape(self):
+        section = panel_section(_panel())
+        assert len(section["races"]) == len(APPS) * len(TOPOLOGIES) * len(
+            POLICIES
+        )
+        assert section["topologies"]["deep8"] == {"nodes": 8, "radix": 2}
+        assert section["wall_seconds"] == 10.0

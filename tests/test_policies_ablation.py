@@ -1,0 +1,154 @@
+"""Placement-path coverage for the ablation policies, and the reset contract.
+
+The scheduler ablation benchmark reuses one policy *instance* across many
+runtimes; ``reset()`` (invoked at runtime construction) must make those
+runs independent.  The round-robin cursor and the random generator were
+the two pieces of run-local state that used to leak.
+"""
+
+from __future__ import annotations
+
+from repro.apps.stencil import StencilWorkload, stencil_allscale
+from repro.items.grid import Grid
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.policies import (
+    DataAwarePolicy,
+    PlacementContext,
+    RandomPolicy,
+    RoundRobinPolicy,
+)
+from repro.runtime.runtime import AllScaleRuntime
+from repro.runtime.tasks import TaskSpec
+from repro.sim.cluster import Cluster, ClusterSpec
+
+
+def make_runtime(nodes=4, policy=None, **cfg):
+    cluster = Cluster(
+        ClusterSpec(num_nodes=nodes, cores_per_node=2, flops_per_core=1e9)
+    )
+    return AllScaleRuntime(
+        cluster, RuntimeConfig(functional=False, **cfg), policy
+    )
+
+
+def _ctx(runtime, origin=0, lookup=None):
+    return PlacementContext(
+        runtime=runtime, origin=origin, lookup=lookup or {}
+    )
+
+
+def _task(**kwargs):
+    defaults = dict(name="t", flops=1.0, size_hint=1.0, body=lambda ctx: None)
+    defaults.update(kwargs)
+    return TaskSpec(**defaults)
+
+
+class TestRoundRobinPlacement:
+    def test_cycles_through_processes(self):
+        policy = RoundRobinPolicy()
+        runtime = make_runtime(nodes=3, policy=policy)
+        targets = [
+            policy.pick_target(_task(), _ctx(runtime)) for _ in range(6)
+        ]
+        assert targets == [0, 1, 2, 0, 1, 2]
+
+    def test_reset_rewinds_cursor(self):
+        policy = RoundRobinPolicy()
+        runtime = make_runtime(nodes=4, policy=policy)
+        first = [policy.pick_target(_task(), _ctx(runtime)) for _ in range(3)]
+        policy.reset()
+        second = [policy.pick_target(_task(), _ctx(runtime)) for _ in range(3)]
+        assert first == second == [0, 1, 2]
+
+
+class TestRandomPlacement:
+    def test_targets_in_range_and_seeded(self):
+        policy = RandomPolicy(seed=7)
+        runtime = make_runtime(nodes=4, policy=policy)
+        first = [policy.pick_target(_task(), _ctx(runtime)) for _ in range(20)]
+        assert all(0 <= t < 4 for t in first)
+        policy.reset()
+        second = [policy.pick_target(_task(), _ctx(runtime)) for _ in range(20)]
+        assert first == second
+
+    def test_distinct_seeds_distinct_streams(self):
+        runtime = make_runtime(nodes=8)
+        a = RandomPolicy(seed=1)
+        b = RandomPolicy(seed=2)
+        draws_a = [a.pick_target(_task(), _ctx(runtime)) for _ in range(16)]
+        draws_b = [b.pick_target(_task(), _ctx(runtime)) for _ in range(16)]
+        assert draws_a != draws_b
+
+
+class TestDataAwareFallbackTiers:
+    def test_home_hint_spreads_first_touch(self):
+        """Tier 2: no ownership anywhere → the structural home hint."""
+        policy = DataAwarePolicy()
+        runtime = make_runtime(nodes=4, policy=policy)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid)
+        homes = runtime.home_map(grid)
+        targets = set()
+        for pid, home in enumerate(homes):
+            task = _task(name=f"w{pid}", writes={grid: home})
+            target = policy.pick_target(task, _ctx(runtime, origin=0))
+            assert target == pid
+            targets.add(target)
+        assert targets == {0, 1, 2, 3}
+
+    def test_home_hint_falls_back_to_reads(self):
+        policy = DataAwarePolicy()
+        runtime = make_runtime(nodes=4, policy=policy)
+        grid = Grid((8, 8), name="g")
+        runtime.register_item(grid)
+        homes = runtime.home_map(grid)
+        task = _task(name="r", reads={grid: homes[2]})
+        assert policy.pick_target(task, _ctx(runtime, origin=0)) == 2
+
+    def test_no_requirements_stays_at_origin(self):
+        """Tier 3: a task touching no data stays where it was submitted."""
+        policy = DataAwarePolicy()
+        runtime = make_runtime(nodes=4, policy=policy)
+        assert policy.pick_target(_task(), _ctx(runtime, origin=3)) == 3
+
+
+class TestResetContract:
+    def test_runtime_construction_resets_policy(self):
+        policy = RoundRobinPolicy()
+        runtime = make_runtime(nodes=4, policy=policy)
+        for _ in range(3):
+            policy.pick_target(_task(), _ctx(runtime))
+        assert policy._next == 3
+        make_runtime(nodes=4, policy=policy)
+        assert policy._next == 0
+
+    def test_back_to_back_runs_identical_with_one_instance(self):
+        """The determinism the ablation benchmark relies on: racing one
+        shared instance over consecutive runs must not let the first
+        run's cursor/RNG state leak into the second."""
+        workload = StencilWorkload(
+            n_per_node=200, timesteps=1, functional=False
+        )
+        for policy in (RoundRobinPolicy(), RandomPolicy(seed=3)):
+            outcomes = []
+            for _ in range(2):
+                cluster = Cluster(
+                    ClusterSpec(
+                        num_nodes=3, cores_per_node=2, flops_per_core=1e9
+                    )
+                )
+                result = stencil_allscale(
+                    cluster,
+                    workload,
+                    RuntimeConfig(functional=False),
+                    policy,
+                )
+                runtime = result.extras["runtime"]
+                outcomes.append(
+                    (
+                        result.elapsed,
+                        runtime.metrics.counter("net.messages"),
+                        runtime.data_bytes_moved(),
+                    )
+                )
+            assert outcomes[0] == outcomes[1], type(policy).__name__

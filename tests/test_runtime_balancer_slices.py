@@ -1,0 +1,96 @@
+"""Regression tests for the balancer's region slicing.
+
+Two historical defects, both pinned here:
+
+* interval slicing clamped every fraction above one half to a 50% cut
+  (``max(2, round(1/f))`` split parts), so a balancer asking for 70% of
+  an overloaded node's region silently got 50%;
+* box-set slicing rounded the cut to whole rows of the widest axis, so
+  small fractions of wide boxes overshot the target by up to a full row
+  (and the floor-to-zero guard then forced a minimum of one row).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.items.grid import Grid
+from repro.regions.box import Box, BoxSetRegion
+from repro.regions.interval import Interval, IntervalRegion
+from repro.runtime.balancer import take_slice
+
+
+class TestIntervalFractions:
+    def test_every_fraction_cuts_proportionally(self):
+        """Pinned: fractions above 0.5 used to collapse to a 50% cut."""
+        size = 1000
+        region = IntervalRegion.span(0, size)
+        for percent in range(1, 100):
+            fraction = percent / 100.0
+            piece = take_slice(region, fraction)
+            assert piece is not None, fraction
+            want = min(size - 1, math.ceil(size * fraction))
+            assert piece.size() == want, fraction
+            assert region.covers(piece)
+            assert not region.difference(piece).is_empty()
+
+    def test_large_fraction_on_fragmented_region(self):
+        region = IntervalRegion(
+            [Interval(0, 10), Interval(20, 30), Interval(40, 50)]
+        )
+        piece = take_slice(region, 0.7)
+        assert piece is not None
+        assert piece.size() == math.ceil(30 * 0.7)
+        assert region.covers(piece)
+
+    def test_two_element_region_leaves_remainder(self):
+        piece = take_slice(IntervalRegion.span(0, 2), 0.9)
+        assert piece is not None
+        assert piece.size() == 1
+
+
+class TestBoxSetFractions:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(1, 40),
+        cols=st.integers(1, 40),
+        percent=st.integers(1, 99),
+    )
+    def test_slice_size_is_exact(self, rows, cols, percent):
+        """Pinned: the carve no longer overshoots by up to a full row."""
+        fraction = percent / 100.0
+        region = Grid((rows, cols)).full_region
+        size = region.size()
+        want = min(size - 1, math.ceil(size * fraction))
+        piece = take_slice(region, fraction)
+        if want < 1:
+            assert piece is None
+            return
+        assert piece is not None
+        assert piece.size() == want
+        assert region.covers(piece)
+        assert region.difference(piece).size() == size - want
+
+    def test_small_fraction_of_wide_box(self):
+        """1% of a 4×1000 grid is 40 elements, not a 1000-element row."""
+        region = Grid((4, 1000)).full_region
+        piece = take_slice(region, 0.01)
+        assert piece is not None
+        assert piece.size() == 40
+
+    def test_multi_box_region(self):
+        region = BoxSetRegion(
+            [Box((0, 0), (4, 4)), Box((10, 0), (12, 8))]
+        )
+        size = region.size()
+        piece = take_slice(region, 0.6)
+        assert piece is not None
+        assert piece.size() == math.ceil(size * 0.6)
+        assert region.covers(piece)
+
+    def test_single_element_region_unsliceable(self):
+        region = BoxSetRegion([Box((0, 0), (1, 1))])
+        assert take_slice(region, 0.5) is None
