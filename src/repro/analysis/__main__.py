@@ -6,14 +6,18 @@ Usage::
     python -m repro.analysis stencil ipic3d tpc  # the paper apps
     python -m repro.analysis examples            # the example scripts
     python -m repro.analysis --max-depth 5 tpc   # deeper expansion
+    python -m repro.analysis --json examples     # machine-readable report
 
 Exit status is 1 when any error-severity finding survives — the CI
-analysis job runs exactly this over all examples and bench task graphs.
+analysis job runs exactly this over all examples and bench task graphs —
+and 2 when the analyzer itself crashes (so CI can tell "the code has
+errors" apart from "the analyzer is broken").
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.expansion import AnalysisConfig
@@ -63,6 +67,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print summaries only",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document on stdout instead of text",
+    )
     args = parser.parse_args(argv)
 
     for target in args.targets:
@@ -84,6 +93,7 @@ def main(argv: list[str] | None = None) -> int:
 
     total_errors = 0
     total_warnings = 0
+    json_reports = []
     for target in wanted:
         if target == "examples":
             reports = [
@@ -95,6 +105,9 @@ def main(argv: list[str] | None = None) -> int:
             counts = report.counts()
             total_errors += counts["error"]
             total_warnings += counts["warning"]
+            if args.json:
+                json_reports.append(report.to_dict())
+                continue
             if args.quiet:
                 print(report.summary())
             else:
@@ -105,13 +118,35 @@ def main(argv: list[str] | None = None) -> int:
                 f"{report.pairs_checked} pair(s), "
                 f"{report.bodies_linted} body(ies) linted)"
             )
-    print()
-    print(
-        f"analysis: {total_errors} error(s), {total_warnings} warning(s) "
-        f"across {len(wanted)} target(s)"
-    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "targets": wanted,
+                    "errors": total_errors,
+                    "warnings": total_warnings,
+                    "reports": json_reports,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print()
+        print(
+            f"analysis: {total_errors} error(s), {total_warnings} warning(s) "
+            f"across {len(wanted)} target(s)"
+        )
     return 1 if total_errors else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        raise
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(
+            f"analysis: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        sys.exit(2)

@@ -68,6 +68,17 @@ class Finding:
         """Deduplication key (region participates via its repr)."""
         return (self.check, self.task, self.item, self.message)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the region goes through its repr)."""
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "task": self.task,
+            "item": self.item,
+            "region": None if self.region is None else repr(self.region),
+        }
+
 
 @dataclass
 class AnalysisReport:
@@ -140,6 +151,20 @@ class AnalysisReport:
                 else ""
             )
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: counts, expansion stats, and all findings."""
+        return {
+            "subject": self.subject,
+            "counts": self.counts(),
+            "clean": self.clean,
+            "tasks_expanded": self.tasks_expanded,
+            "tasks_truncated": self.tasks_truncated,
+            "bodies_linted": self.bodies_linted,
+            "pairs_checked": self.pairs_checked,
+            "elapsed": self.elapsed,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
 
     def render_lines(self, max_findings: int | None = None) -> list[str]:
         """Human-readable report: summary line plus one line per finding."""

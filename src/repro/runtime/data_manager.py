@@ -30,6 +30,7 @@ from repro.items.base import DataItem, Fragment, FragmentPayload
 from repro.regions.base import Region
 from repro.runtime.tasks import TaskSpec
 from repro.runtime.transfers import ReplicaCache, TransferPlan
+from repro.verify import monitor as _verify
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.process import RuntimeProcess
@@ -86,13 +87,22 @@ class DataItemManager:
         return self.present_region(item).difference(self.owned_region(item))
 
     def in_flight_region(self, item: DataItem) -> Region:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_acquire(("inflight", self.pid, item.name))
         region = self._in_flight.get(item)
         return region if region is not None else item.empty_region()
 
     def _mark_in_flight(self, item: DataItem, region: Region) -> None:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_release(("inflight", self.pid, item.name), region)
         self._in_flight[item] = self.in_flight_region(item).union(region)
 
     def _clear_in_flight(self, item: DataItem, region: Region) -> None:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_release(("inflight", self.pid, item.name), region)
         remaining = self.in_flight_region(item).difference(region)
         if remaining.is_empty():
             self._in_flight.pop(item, None)
@@ -108,13 +118,22 @@ class DataItemManager:
         return future
 
     def fetching_region(self, item: DataItem) -> Region:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_acquire(("fetching", self.pid, item.name))
         region = self._fetching.get(item)
         return region if region is not None else item.empty_region()
 
     def _mark_fetching(self, item: DataItem, region: Region) -> None:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_release(("fetching", self.pid, item.name), region)
         self._fetching[item] = self.fetching_region(item).union(region)
 
     def _clear_fetching(self, item: DataItem, region: Region) -> None:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_release(("fetching", self.pid, item.name), region)
         remaining = self.fetching_region(item).difference(region)
         if remaining.is_empty():
             self._fetching.pop(item, None)
@@ -156,6 +175,9 @@ class DataItemManager:
         # MemoryExhaustedError must not leave present-but-unowned bytes
         self.process.node.allocate(added_bytes)
         fragment.resize(grown)
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.frag_write(self.pid, item, region, "allocate")
         self.owned[item] = self.owned_region(item).union(region)
         # a local replica of an unowned region (e.g. orphaned by a node
         # failure) may be claimed here: it is now owned, not replicated
@@ -170,6 +192,9 @@ class DataItemManager:
         runtime = self.process.runtime
         part = self.owned_region(item).intersect(region)
         fragment = self.fragment(item)
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.frag_write(self.pid, item, part, "migrate-out")
         payload = fragment.extract(part)
         fragment.resize(fragment.region.difference(part))
         self.process.node.free(item.region_bytes(part))
@@ -188,6 +213,9 @@ class DataItemManager:
         fragment = self.fragment(item)
         added = payload.region.difference(fragment.region)
         self.process.node.allocate(item.region_bytes(added))
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.frag_write(self.pid, item, payload.region, "migrate-in")
         fragment.insert(payload)
         self.owned[item] = self.owned_region(item).union(payload.region)
         # data this process previously held as a replica is now owned here
@@ -204,6 +232,9 @@ class DataItemManager:
         fragment = self.fragment(item)
         added = payload.region.difference(fragment.region)
         self.process.node.allocate(item.region_bytes(added))
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.frag_write(self.pid, item, payload.region, "replica-in")
         fragment.insert(payload)
         # anything that became locally *owned* while the payload was in
         # transit (a concurrent write staging here) is not a replica
@@ -218,6 +249,9 @@ class DataItemManager:
         if victim.is_empty():
             return
         fragment = self.fragment(item)
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.frag_write(self.pid, item, victim, "invalidate")
         fragment.resize(fragment.region.difference(victim))
         self.process.node.free(item.region_bytes(victim))
         self.process.runtime.unregister_replica(item, self.pid, victim)
@@ -453,6 +487,9 @@ class DataItemManager:
         fragment = self.fragment(item)
         added = payload.region.difference(fragment.region)
         self.process.node.allocate(item.region_bytes(added))
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.frag_write(self.pid, item, payload.region, "migrate-land")
         fragment.insert(payload)
         runtime.metrics.incr("dm.imports")
 
@@ -520,11 +557,23 @@ class DataItemManager:
         missing = want.difference(self.present_region(item))
         if missing.is_empty():
             return
-        # every replica fetch lost the race against concurrent ownership
-        # migration (an aggressive load balancer can keep a region moving
-        # faster than one fetch round-trip).  Escalate from replication
-        # to migration: ownership handover is atomic at export time, so a
-        # pull cannot be outrun the way a copy can.
+        yield from self._escalate_fetch(item, missing, task, plan)
+
+    def _escalate_fetch(
+        self,
+        item: DataItem,
+        missing: Region,
+        task: object = None,
+        plan: TransferPlan | None = None,
+    ) -> Generator:
+        """Escalate a starved replica fetch to an ownership migration.
+
+        Every replica fetch lost the race against concurrent ownership
+        migration (an aggressive load balancer can keep a region moving
+        faster than one fetch round-trip).  Ownership handover is atomic
+        at export time, so a pull cannot be outrun the way a copy can.
+        """
+        runtime = self.process.runtime
         runtime.metrics.incr("dm.read_escalations")
         yield from self._acquire_ownership(item, missing, task=task, plan=plan)
 
@@ -559,6 +608,9 @@ class DataItemManager:
             if part.is_empty():
                 continue
             yield peer.node.execute(cfg.fragment_op_overhead)
+            monitor = _verify.current
+            if monitor is not None:
+                monitor.frag_read(owner, item, part, "replica-read")
             payload = peer.data_manager.fragment(item).extract(part)
             yield network.send(owner, self.pid, max(1, payload.nbytes))
             yield self.process.node.execute(cfg.fragment_op_overhead)
@@ -630,6 +682,9 @@ class DataItemManager:
         for piece in pieces[1:]:
             union = union.union(piece)
         yield peer.node.execute(cfg.fragment_op_overhead)
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.frag_read(owner, item, union, "replica-read")
         payload = peer.data_manager.fragment(item).extract(union)
         sizes = [item.region_bytes(piece) for piece in pieces]
         if runtime.sentinel is not None:

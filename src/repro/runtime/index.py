@@ -31,6 +31,7 @@ from typing import Generator
 from repro.items.base import DataItem
 from repro.regions.base import Region
 from repro.sim.network import Network
+from repro.verify import monitor as _verify
 
 
 class HierarchicalIndex:
@@ -95,6 +96,9 @@ class HierarchicalIndex:
         self._items.add(item)
 
     def covered(self, item: DataItem, level: int, root: int) -> Region:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_acquire(("own", item.name))
         region = self._cover.get((item, level, root))
         return region if region is not None else item.empty_region()
 
@@ -149,6 +153,11 @@ class HierarchicalIndex:
             if host != process:
                 self.update_messages += 1
                 self.network.send(process, host, self.control_message_bytes)
+        monitor = _verify.current
+        if monitor is not None:
+            # publish the new covers: lookups that observe them (via
+            # ``covered``) order after this update
+            monitor.sync_release(("own", item.name))
         if self.sentinel is not None:
             self.sentinel.on_ownership_update(item, process, new_region)
 

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Generator
 from repro.runtime.data_manager import DataItemManager
 from repro.runtime.locks import LockTable
 from repro.runtime.tasks import TaskExecutionContext, TaskSpec, Treeture
+from repro.verify import monitor as _verify
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.runtime import AllScaleRuntime
@@ -42,7 +43,7 @@ class RuntimeProcess:
         self.runtime = runtime
         self.pid = pid
         self.node = node
-        self.locks = LockTable(runtime.engine)
+        self.locks = LockTable(runtime.engine, pid=pid)
         self.data_manager = DataItemManager(self)
         self.queue: deque[tuple[TaskSpec, Treeture, str]] = deque()
         self.active = 0
@@ -219,6 +220,21 @@ class RuntimeProcess:
         if sentinel is not None:
             sentinel.on_locks_acquired(self.pid, task)
             sentinel.on_task_executing(task, self.pid)
+        monitor = _verify.current
+        if monitor is not None:
+            # the task body's accesses, recorded while the verified locks
+            # are held (they protect the whole execution window)
+            for item in task.accessed_items_ordered():
+                write = task.write_region(item)
+                if not write.is_empty():
+                    monitor.frag_write(
+                        self.pid, item, write, f"task:{task.name}"
+                    )
+                read = task.read_region(item).difference(write)
+                if not read.is_empty():
+                    monitor.frag_read(
+                        self.pid, item, read, f"task:{task.name}"
+                    )
         try:
             devices = self.runtime.cluster.accelerators[self.pid]
             if offload and devices and task.gpu_flops is not None:

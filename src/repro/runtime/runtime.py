@@ -33,6 +33,7 @@ from repro.runtime.scheduler import Scheduler
 from repro.runtime.sentinel import attach_from_global
 from repro.runtime.tasks import TaskSpec, Treeture
 from repro.sim.cluster import Cluster
+from repro.verify import monitor as _verify
 
 
 class AllScaleRuntime:
@@ -247,11 +248,17 @@ class AllScaleRuntime:
     # -- replica registry ---------------------------------------------------------------
 
     def register_replica(self, item: DataItem, pid: int, region: Region) -> None:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_release(("rep", item.name), region)
         holders = self._replicas.setdefault(item, {})
         current = holders.get(pid, item.empty_region())
         holders[pid] = current.union(region)
 
     def unregister_replica(self, item: DataItem, pid: int, region: Region) -> None:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_release(("rep", item.name), region)
         holders = self._replicas.get(item)
         if not holders or pid not in holders:
             return
@@ -262,6 +269,9 @@ class AllScaleRuntime:
             holders[pid] = remaining
 
     def replica_holders(self, item: DataItem) -> dict[int, Region]:
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_acquire(("rep", item.name))
         return dict(self._replicas.get(item, {}))
 
     # -- write-intent reservations ----------------------------------------------------
@@ -283,6 +293,10 @@ class AllScaleRuntime:
         still fetching, or the pair ping-pongs re-fetch against
         invalidation until the fetch loop gives up.
         """
+        monitor = _verify.current
+        if monitor is not None:
+            for item in set(regions) | set(reads or {}):
+                monitor.sync_release(("intent", item.name))
         self._intent_seq += 1
         # bounding corners are precomputed so the blocked-check can
         # reject non-overlapping intents without touching the region
@@ -304,7 +318,13 @@ class AllScaleRuntime:
         self._signal_intent_change()
 
     def clear_write_intent(self, owner: object) -> None:
-        if self._write_intents.pop(id(owner), None) is not None:
+        entry = self._write_intents.pop(id(owner), None)
+        if entry is not None:
+            monitor = _verify.current
+            if monitor is not None:
+                _seq, _pid, regions, reads, _ref = entry
+                for item in set(regions) | set(reads):
+                    monitor.sync_release(("intent", item.name))
             self._signal_intent_change()
 
     def write_intent_blocked(
@@ -324,6 +344,9 @@ class AllScaleRuntime:
         replicas an older stager is still assembling.  Readers never
         block on reads, so the reader-side gates leave it off.
         """
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_acquire(("intent", item.name))
         if not self._write_intents:
             return False
         own = self._write_intents.get(id(owner)) if owner is not None else None
@@ -371,6 +394,9 @@ class AllScaleRuntime:
         waits for local locks at each holder, exactly like the *migrate*
         guard would.
         """
+        monitor = _verify.current
+        if monitor is not None:
+            monitor.sync_acquire(("rep", item.name))
         holders = self._replicas.get(item, {})
         for pid in sorted(holders):
             if pid == keeper:

@@ -30,6 +30,22 @@ Two programming styles are supported on top of the raw event queue:
   or a :class:`Future`; the engine resumes them when the delay elapses or
   the future completes.  The runtime system and the MPI baseline are
   written in this style.
+
+**Controlled nondeterminism** (``repro.verify``): the ``(time, seq)``
+order makes one run deterministic, but it is only *one* schedule of the
+modelled system — the seq component is an artifact of scheduling order,
+and every scheduled delay is a lower bound (a message may always arrive
+later, a worker may always be preempted longer), so executing any pending
+event next, at ``max(now, its time)``, is a legal schedule of the real
+runtime.  :meth:`SimEngine.set_oracle` installs a
+:class:`ScheduleOracle`-shaped object through which that choice is routed,
+switching ``run`` onto a slower, fully introspectable dispatch loop; the
+model checker drives it to explore alternative schedules, and a recorded
+decision trace replays any explored branch exactly.  :meth:`SimEngine.set_hb` installs a
+happens-before observer (event attribution, spawn edges, future
+completion/read edges, coroutine program order) feeding the vector-clock
+layer of the race sanitizer.  Both hooks are ``None`` in normal runs and
+cost one attribute check on the hot paths.
 """
 
 from __future__ import annotations
@@ -91,12 +107,19 @@ class Future:
             raise RuntimeError("future completed twice")
         self.done = True
         self.value = value
+        hb = self.engine._hb
+        if hb is not None:
+            hb.on_future_complete(self)
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
             fn(value)
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         if self.done:
+            hb = self.engine._hb
+            if hb is not None:
+                # the value carries causality from the completing event
+                hb.on_future_read(self)
             fn(self.value)
         else:
             self._callbacks.append(fn)
@@ -126,6 +149,10 @@ class SimEngine:
         "_gen",
         "_events_processed",
         "_listeners",
+        "_oracle",
+        "_hb",
+        "_labels",
+        "_ctl_times",
     )
 
     def __init__(self) -> None:
@@ -152,6 +179,57 @@ class SimEngine:
         # post-event observers (e.g. the runtime invariant sentinel);
         # called with no arguments after each executed event
         self._listeners: list[Callable[[], None]] = []
+        # controlled-nondeterminism seam (repro.verify); both None in
+        # normal runs, costing one attribute check on the hot paths
+        self._oracle: Any = None
+        self._hb: Any = None
+        self._labels: dict[int, Any] | None = None
+        # controlled mode keeps pending (seq -> time) here instead of in
+        # the sorted run, so any live event is addressable by the oracle
+        self._ctl_times: dict[int, float] = {}
+
+    # -- verification seam ----------------------------------------------------------
+
+    def set_oracle(self, oracle: Any) -> None:
+        """Route schedule choices through ``oracle`` (or detach).
+
+        While an oracle (or a happens-before observer) is installed,
+        :meth:`run` uses the controlled dispatch loop: before each event,
+        every live event is collected in natural ``(time, seq)`` order and
+        — when there is more than one — ``oracle.choose(time, seqs,
+        labels)`` picks which fires next (at ``max(now, its time)``; every
+        delay is a lower bound, so deferring events is always legal).
+        ``None`` detaches and folds any controlled-mode state back into
+        the normal queue.
+        """
+        self._oracle = oracle
+        if oracle is not None and self._labels is None:
+            self._labels = {}
+        if oracle is None and self._hb is None:
+            self._exit_controlled()
+
+    def set_hb(self, hb: Any) -> None:
+        """Install (or with ``None`` detach) a happens-before observer.
+
+        The observer receives event attribution (``on_event``), scheduling
+        edges (``on_scheduled``), coroutine lifecycle (``on_spawn`` /
+        ``on_resume`` / ``on_suspend``), and future causality
+        (``on_future_complete`` / ``on_future_read`` / ``note_future_dep``).
+        """
+        self._hb = hb
+        if hb is not None and self._labels is None:
+            self._labels = {}
+        if hb is None and self._oracle is None:
+            self._exit_controlled()
+
+    def _exit_controlled(self) -> None:
+        """Fold controlled-mode pending events back into the overflow heap."""
+        if self._ctl_times:
+            for seq, time in self._ctl_times.items():
+                if seq in self._fns:
+                    heapq.heappush(self._over, (time, seq))
+            self._ctl_times = {}
+        self._labels = None
 
     def add_listener(self, fn: Callable[[], None]) -> None:
         """Register an observer invoked after every executed event."""
@@ -164,8 +242,15 @@ class SimEngine:
 
     # -- scheduling ---------------------------------------------------------------
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run ``fn`` after ``delay`` simulated seconds."""
+    def schedule(
+        self, delay: float, fn: Callable[[], None], label: Any = None
+    ) -> Event:
+        """Run ``fn`` after ``delay`` simulated seconds.
+
+        ``label`` is an optional human-readable tag recorded only while a
+        verification oracle or happens-before observer is installed; it
+        makes decision traces legible and costs nothing otherwise.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         time = self.now + delay
@@ -173,16 +258,36 @@ class SimEngine:
         self._next_seq = seq + 1
         self._fns[seq] = fn
         heapq.heappush(self._over, (time, seq))
+        if self._labels is not None:
+            if label is not None:
+                self._labels[seq] = label
+            if self._hb is not None:
+                self._hb.on_scheduled(seq)
         return Event(time, seq, self)
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+    def schedule_at(
+        self, time: float, fn: Callable[[], None], label: Any = None
+    ) -> Event:
         """Run ``fn`` at absolute simulated time ``time`` (>= now)."""
         if time < self.now:
-            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+            if self._labels is not None:
+                # controlled dispatch may have deferred events past an
+                # absolute time computed earlier (e.g. a NIC free slot);
+                # the deferral makes that minimum already satisfied
+                time = self.now
+            else:
+                raise ValueError(
+                    f"cannot schedule in the past: {time} < {self.now}"
+                )
         seq = self._next_seq
         self._next_seq = seq + 1
         self._fns[seq] = fn
         heapq.heappush(self._over, (time, seq))
+        if self._labels is not None:
+            if label is not None:
+                self._labels[seq] = label
+            if self._hb is not None:
+                self._hb.on_scheduled(seq)
         return Event(time, seq, self)
 
     def future(self) -> Future:
@@ -194,15 +299,24 @@ class SimEngine:
         """Run a generator process; the returned future completes with its
         ``return`` value when the process finishes."""
         result = self.future()
+        if self._hb is not None:
+            self._hb.on_spawn(id(gen))
         self._step_process(gen, None, result)
         return result
 
     def _step_process(self, gen: ProcessGen, send_value: Any, result: Future) -> None:
+        hb = self._hb
+        if hb is not None:
+            hb.on_resume(id(gen))
         try:
             yielded = gen.send(send_value)
         except StopIteration as stop:
+            if hb is not None:
+                hb.on_suspend(id(gen), finished=True)
             result.complete(stop.value)
             return
+        if hb is not None:
+            hb.on_suspend(id(gen))
         if isinstance(yielded, Future):
             yielded.add_callback(
                 lambda value: self._step_process(gen, value, result)
@@ -230,6 +344,11 @@ class SimEngine:
                 nonlocal remaining
                 values[index] = value
                 remaining -= 1
+                hb = self._hb
+                if hb is not None:
+                    # the joined result depends on *every* input's
+                    # completer, not only the last one's
+                    hb.note_future_dep(combined)
                 if remaining == 0:
                     combined.complete(values)
 
@@ -244,6 +363,10 @@ class SimEngine:
     def _cancel(self, seq: int) -> None:
         if self._fns.pop(seq, None) is None:
             return  # already executed, already cancelled, or never queued
+        if self._ctl_times:
+            self._ctl_times.pop(seq, None)
+        if self._labels is not None:
+            self._labels.pop(seq, None)
         self._cancelled += 1
         pending_slots = (len(self._rs) - self._run_pos) + len(self._over)
         if self._cancelled * 2 > pending_slots:
@@ -311,6 +434,11 @@ class SimEngine:
             head = self._rt[self._run_pos]
         if self._over and self._over[0][0] < head:
             head = self._over[0][0]
+        if self._ctl_times:
+            fns = self._fns
+            for seq, time in self._ctl_times.items():
+                if time < head and seq in fns:
+                    head = time
         return head
 
     # -- execution -----------------------------------------------------------------
@@ -322,6 +450,8 @@ class SimEngine:
 
         Returns the number of events processed by this call.
         """
+        if self._oracle is not None or self._hb is not None:
+            return self._run_controlled(until, max_events)
         horizon = inf if until is None else until
         limit = inf if max_events is None else max_events
         processed = 0
@@ -398,6 +528,95 @@ class SimEngine:
                     gen = self._gen
                     break
         self._run_pos = pos
+        if until is not None and self._peek_time() > until:
+            self.now = max(self.now, until)
+        return processed
+
+    def _run_controlled(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> int:
+        """Verification-mode dispatch: every schedule choice goes via the
+        oracle.
+
+        Without an oracle (or with one that always picks the first
+        candidate) events fire in exactly the normal ``(time, seq)`` order
+        — but all live events are visible as one candidate set before each
+        dispatch, and the oracle may fire *any* of them next: scheduled
+        delays are lower bounds on the modelled system, so delaying one
+        event past another is always a legal schedule (the chosen event
+        runs at ``max(now, its time)``, keeping time monotone).
+        O(pending log pending) per event; only ever active under
+        ``repro.verify``.
+        """
+        horizon = inf if until is None else until
+        limit = inf if max_events is None else max_events
+        processed = 0
+        fns = self._fns
+        times = self._ctl_times
+        # fold the sorted run into the controlled map once
+        if self._run_pos < len(self._rs):
+            for i in range(self._run_pos, len(self._rs)):
+                seq = self._rs[i]
+                if seq in fns:
+                    times[seq] = self._rt[i]
+        self._run_times = _EMPTY_TIMES
+        self._run_seqs = _EMPTY_SEQS
+        self._rt = []
+        self._rs = []
+        self._run_pos = 0
+        over = self._over
+        oracle = self._oracle
+        hb = self._hb
+        labels = self._labels
+        while processed < limit:
+            if over:
+                for time, seq in over:
+                    if seq in fns:
+                        times[seq] = time
+                over.clear()
+            if not times:
+                break
+            tmin = inf
+            for seq, time in times.items():
+                if time < tmin:
+                    tmin = time
+            if tmin > horizon:
+                break
+            candidates = [
+                seq
+                for seq, time in sorted(
+                    times.items(), key=lambda entry: (entry[1], entry[0])
+                )
+                if time <= horizon
+            ]
+            if len(candidates) > 1 and oracle is not None:
+                seq = oracle.choose(tmin, candidates, labels)
+                if seq not in times:
+                    raise RuntimeError(
+                        f"oracle chose seq {seq} outside the candidate set"
+                    )
+            else:
+                seq = candidates[0]
+            chosen_time = times.pop(seq)
+            fn = fns.pop(seq)
+            if labels is not None:
+                labels.pop(seq, None)
+            if chosen_time > self.now:
+                self.now = chosen_time
+            if hb is not None:
+                hb.on_event(seq)
+            fn()
+            processed += 1
+            self._events_processed += 1
+            if self._listeners:
+                for listener in tuple(self._listeners):
+                    listener()
+            # detached mid-run (a scenario tearing down its monitor)
+            if self._oracle is not oracle or self._hb is not hb:
+                remaining = (
+                    None if max_events is None else max_events - processed
+                )
+                return processed + self.run(until=until, max_events=remaining)
         if until is not None and self._peek_time() > until:
             self.now = max(self.now, until)
         return processed

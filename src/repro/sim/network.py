@@ -105,8 +105,18 @@ class Network:
         ctr.counts[0] += 1.0
         ctr.counts[1] += nbytes
 
+        # trace labels are built only under repro.verify (labels active)
+        label = (
+            ("net.deliver", src, dst, nbytes)
+            if engine._labels is not None
+            else None
+        )
         if src == dst:
-            engine.schedule(cfg.loopback_overhead, lambda: done.complete(engine.now))
+            engine.schedule(
+                cfg.loopback_overhead,
+                lambda: done.complete(engine.now),
+                label=label,
+            )
             return done
 
         serialization = nbytes / cfg.bandwidth
@@ -126,9 +136,19 @@ class Network:
             recv_start = max(engine.now, rnic.recv_free_at)
             recv_done = recv_start + cfg.recv_overhead
             rnic.recv_free_at = recv_done
-            engine.schedule_at(recv_done, lambda: done.complete(engine.now))
+            engine.schedule_at(
+                recv_done, lambda: done.complete(engine.now), label=label
+            )
 
-        engine.schedule_at(arrival, on_arrival)
+        engine.schedule_at(
+            arrival,
+            on_arrival,
+            label=(
+                ("net.arrival", src, dst, nbytes)
+                if engine._labels is not None
+                else None
+            ),
+        )
         return done
 
     def send_bulk(self, src: int, dst: int, sizes: list[int]) -> Future:

@@ -1,0 +1,152 @@
+"""Schedule oracles: recorded, forced, and replayed tie-break decisions.
+
+The engine's controlled dispatch loop calls ``oracle.choose(time,
+candidates, labels)`` whenever more than one event is live; candidates
+arrive in natural ``(time, seq)`` order, so ``candidates[0]`` is the
+schedule an uncontrolled run would take, and choosing any other candidate
+defers the earlier events past it.  :class:`RecordingOracle` answers from a
+(possibly empty) forced prefix — decisions indexed by choose-call ordinal
+— and records every choice point, so one run yields both the schedule
+taken and the raw material for DPOR branching.
+
+A recorded run's full decision list *is* its deterministic repro: feeding
+it back as the forced prefix replays the identical schedule, because event
+sequence numbers are themselves deterministic under a fixed prefix.
+:class:`ReplayOracle` is the tolerant variant used by regression tests
+that replay a pinned trace against *changed* (fixed) code, where later
+choice points may no longer line up exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ScheduleDivergence(RuntimeError):
+    """A forced decision no longer matches the live candidate set."""
+
+
+@dataclass
+class ChoicePoint:
+    """One tie-break the oracle resolved."""
+
+    #: ordinal of this choose() call within the run
+    step: int
+    #: earliest pending timestamp when the choice was made
+    time: float
+    #: live event seqs in natural (time, seq) order
+    candidates: tuple[int, ...]
+    #: the seq that was dispatched
+    chosen: int
+    #: events executed before this choice (position in the run's exec order)
+    pos: int
+    #: label of the chosen event, if one was recorded
+    label: Any = None
+
+
+@dataclass
+class DecisionTrace:
+    """A replayable schedule prefix: decisions keyed by choose ordinal."""
+
+    scenario: str
+    decisions: list[tuple[int, int]] = field(default_factory=list)
+    note: str = ""
+
+    def forced(self) -> dict[int, int]:
+        return dict(self.decisions)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "scenario": self.scenario,
+                "note": self.note,
+                "decisions": [
+                    {"step": step, "seq": seq}
+                    for step, seq in self.decisions
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DecisionTrace":
+        raw = json.loads(text)
+        return cls(
+            scenario=raw["scenario"],
+            decisions=[
+                (int(d["step"]), int(d["seq"])) for d in raw["decisions"]
+            ],
+            note=raw.get("note", ""),
+        )
+
+
+class RecordingOracle:
+    """Strict oracle: forced prefix, default (lowest seq) afterwards."""
+
+    def __init__(self, forced: dict[int, int] | None = None) -> None:
+        self.forced = dict(forced or {})
+        self.points: list[ChoicePoint] = []
+        self._step = 0
+        #: callable returning the current exec-order position (wired by
+        #: the explorer to the monitor's event count)
+        self.position: Any = None
+
+    def choose(
+        self, time: float, candidates: list[int], labels: dict[int, Any] | None
+    ) -> int:
+        step = self._step
+        self._step = step + 1
+        seq = self.forced.get(step)
+        if seq is None:
+            seq = candidates[0]
+        elif seq not in candidates:
+            raise ScheduleDivergence(
+                f"forced decision at step {step} chose seq {seq}, "
+                f"but the live candidates are {candidates}"
+            )
+        pos = self.position() if self.position is not None else 0
+        label = labels.get(seq) if labels else None
+        self.points.append(
+            ChoicePoint(step, time, tuple(candidates), seq, pos, label)
+        )
+        return seq
+
+    def decisions(self) -> list[tuple[int, int]]:
+        """Every decision of the run, as a replayable forced prefix."""
+        return [(p.step, p.chosen) for p in self.points]
+
+    def nondefault_decisions(self) -> list[tuple[int, int]]:
+        """Only the decisions that differ from the default tie-break."""
+        return [
+            (p.step, p.chosen)
+            for p in self.points
+            if p.chosen != p.candidates[0]
+        ]
+
+
+class ReplayOracle(RecordingOracle):
+    """Tolerant replay: skips forced decisions that no longer line up.
+
+    Used to replay a pinned bug trace against *fixed* code: the schedule
+    prefix up to the fix's divergence point is reproduced exactly, later
+    decisions apply only where the candidate sets still admit them.
+    """
+
+    def __init__(self, forced: dict[int, int] | None = None) -> None:
+        super().__init__(forced)
+        self.applied = 0
+        self.skipped = 0
+
+    def choose(
+        self, time: float, candidates: list[int], labels: dict[int, Any] | None
+    ) -> int:
+        step = self._step
+        wanted = self.forced.get(step)
+        if wanted is not None and wanted not in candidates:
+            self.skipped += 1
+            self.forced.pop(step)
+        elif wanted is not None:
+            self.applied += 1
+        return super().choose(time, candidates, labels)

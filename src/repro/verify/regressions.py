@@ -1,0 +1,221 @@
+"""Mechanical fix-reverts and the bug-rediscovery harness.
+
+The headline proof obligation of the model checker: with a historical
+protocol fix surgically reverted, bounded exploration must *rediscover*
+the bug — find a schedule that fails — and shrink it to a minimal,
+replayable decision trace.  Two reverts are provided, matching the two
+schedule-dependent protocol bugs fixed in this repo's history:
+
+* **write-intent reservations** — originally there were none: staging is
+  lock-free, so a writer repeatedly invalidating the replicas a reader
+  keeps re-fetching (or two writers stealing each other's staged
+  ownership) could ping-pong until a staging loop gave up ("requirement
+  thrashing" / "ownership thrashing").  The fix broke the symmetry with
+  a total order over intents; the revert makes ``write_intent_blocked``
+  answer ``False`` unconditionally, restoring the free-for-all.
+* **read escalation** — originally, a replica fetch that lost every
+  attempt against concurrent ownership migration raised instead of
+  escalating to an (atomic) ownership pull, so balancer-style churn
+  could starve a pinned reader outright.
+
+Both reverts monkeypatch the *fixed* code object for the duration of a
+``with`` block; nothing but the historical behaviour changes, so any
+failure the explorer finds under the revert is the historical bug.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterator
+
+from repro.analysis.findings import Finding
+from repro.verify import monitor as _verify
+from repro.verify.explorer import (
+    DEFAULT_BUDGET,
+    ExploreResult,
+    RunResult,
+    explore,
+    minimize_failure,
+    run_schedule,
+)
+from repro.verify.oracle import DecisionTrace
+from repro.verify.scenarios import get_scenario
+
+
+@contextmanager
+def revert_write_intents() -> Iterator[None]:
+    """Revert the write-intent reservation fix (intents never block)."""
+    from repro.runtime.runtime import AllScaleRuntime
+
+    original = AllScaleRuntime.write_intent_blocked
+
+    def reverted(
+        self, item, region, owner, against_reads: bool = False
+    ) -> bool:
+        monitor = _verify.current
+        if monitor is not None:
+            # keep the sync edge so the happens-before relation stays
+            # sound while the guard itself is disabled
+            monitor.sync_acquire(("intent", item.name))
+        return False
+
+    AllScaleRuntime.write_intent_blocked = reverted  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        AllScaleRuntime.write_intent_blocked = original  # type: ignore[method-assign]
+
+
+@contextmanager
+def revert_read_escalation() -> Iterator[None]:
+    """Revert the starved-fetch-to-migration escalation."""
+    from repro.runtime.data_manager import DataItemManager
+
+    original = DataItemManager._escalate_fetch
+
+    def reverted(self, item, missing, task=None, plan=None) -> Generator:
+        raise RuntimeError(
+            f"process {self.pid} could not replicate "
+            f"{missing.size()} read elements of {item.name!r} after "
+            "repeated attempts (replica starvation?)"
+        )
+        yield  # pragma: no cover - keeps the replacement a generator
+
+    DataItemManager._escalate_fetch = reverted  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        DataItemManager._escalate_fetch = original  # type: ignore[method-assign]
+
+
+@dataclass(frozen=True)
+class KnownBug:
+    """One historical bug: a revert, a scenario that can expose it, and
+    the signatures distinguishing it from unrelated findings.
+
+    A bug manifests either as an uncaught error (a protocol guard giving
+    up) or as a race-sanitizer finding (the unordered accesses the missing
+    protection was ordering); either counts as rediscovery.
+    """
+
+    name: str
+    scenario: str
+    revert: Callable[[], Iterator[None]]
+    #: error substrings, any of which identifies the bug's failure mode
+    error_signatures: tuple[str, ...] = ()
+    #: race-message substrings, all of which must appear in one finding
+    race_signatures: tuple[str, ...] = ()
+
+    def matches_error(self, error: str | None) -> bool:
+        return error is not None and any(
+            signature in error for signature in self.error_signatures
+        )
+
+    def matches_race(self, finding: "Finding") -> bool:
+        return bool(self.race_signatures) and all(
+            signature in finding.message
+            for signature in self.race_signatures
+        )
+
+    def hits(self, run: RunResult) -> bool:
+        """Does one re-executed run still exhibit this bug?"""
+        if self.matches_error(run.error):
+            return True
+        return any(self.matches_race(finding) for finding in run.races)
+
+
+KNOWN_BUGS: dict[str, KnownBug] = {
+    bug.name: bug
+    for bug in (
+        KnownBug(
+            name="write_intent_livelock",
+            scenario="write_intent_chain",
+            revert=revert_write_intents,
+            error_signatures=(
+                "requirement thrashing?",
+                "ownership thrashing?",
+            ),
+            # without intent reservations the writer's task write is
+            # unordered against the competing accesses it was supposed
+            # to defer to — the sanitizer sees the livelock's root
+            # cause even on schedules where no guard trips
+            race_signatures=("task:w1",),
+        ),
+        KnownBug(
+            name="ownership_thrashing",
+            scenario="balancer_vs_pin",
+            revert=revert_read_escalation,
+            error_signatures=("replica starvation?",),
+        ),
+    )
+}
+
+
+@dataclass
+class Rediscovery:
+    """Outcome of hunting one known bug under its revert."""
+
+    bug: str
+    scenario: str
+    found: bool
+    explored: ExploreResult
+    #: "failure" or "race", when found
+    kind: str | None = None
+    evidence: str | None = None
+    trace: DecisionTrace | None = None
+
+
+def rediscover(
+    name: str, budget: int = DEFAULT_BUDGET, minimize: bool = True
+) -> Rediscovery:
+    """Revert ``name``'s fix, explore its scenario, minimize the repro.
+
+    The returned trace replays the bug deterministically while the revert
+    is active; against the fixed code it replays (tolerantly) to a clean
+    run — which is exactly what the pinned regression tests assert.
+    """
+    bug = KNOWN_BUGS[name]
+    scenario = get_scenario(bug.scenario)
+    with bug.revert():
+        explored = explore(scenario, budget=budget)
+        kind, evidence, decisions = None, None, None
+        for error, failing_decisions in explored.failures:
+            if bug.matches_error(error):
+                kind, evidence, decisions = "failure", error, failing_decisions
+                break
+        if kind is None:
+            for finding, racy_decisions in explored.race_traces:
+                if bug.matches_race(finding):
+                    kind, evidence = "race", finding.message
+                    decisions = racy_decisions
+                    break
+        if kind is None or decisions is None:
+            return Rediscovery(
+                bug=name,
+                scenario=bug.scenario,
+                found=False,
+                explored=explored,
+            )
+        trace = DecisionTrace(
+            scenario=bug.scenario, decisions=list(decisions), note=evidence
+        )
+        if minimize:
+            trace = minimize_failure(scenario, decisions, bug.hits)
+            trace.note = evidence
+    return Rediscovery(
+        bug=name,
+        scenario=bug.scenario,
+        found=True,
+        explored=explored,
+        kind=kind,
+        evidence=evidence,
+        trace=trace,
+    )
+
+
+def replay_trace(trace: DecisionTrace, strict: bool = False) -> RunResult:
+    """Replay a pinned trace against the current code."""
+    scenario = get_scenario(trace.scenario)
+    run, _ = run_schedule(scenario, trace.forced(), strict=strict)
+    return run

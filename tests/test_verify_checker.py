@@ -1,0 +1,317 @@
+"""Unit tests for the schedule-space model checker's three layers.
+
+Engine seam (controlled dispatch + oracle), happens-before monitor
+(vector clocks, footprints, race sanitizer), and the DPOR explorer.
+Scenario-level end-to-end coverage lives in ``python -m repro.verify
+--smoke`` and ``tests/test_verify_regressions.py``; these tests pin the
+layer contracts the smoke run builds on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.regions.interval import IntervalRegion
+from repro.sim.engine import SimEngine
+from repro.verify.explorer import explore, run_schedule
+from repro.verify.monitor import VerifyMonitor, ops_conflict
+from repro.verify.oracle import (
+    DecisionTrace,
+    RecordingOracle,
+    ReplayOracle,
+    ScheduleDivergence,
+)
+from repro.verify.scenarios import get_scenario
+
+
+class _Item:
+    """The monitor only ever reads ``item.name``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class _PickLast:
+    """Oracle that always defers: dispatches the newest live event."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def choose(self, time, candidates, labels):
+        self.calls += 1
+        return candidates[-1]
+
+
+# -- engine controlled-dispatch seam ----------------------------------------------
+
+
+class TestControlledDispatch:
+    def test_default_oracle_matches_uncontrolled_order(self):
+        def build(engine, log):
+            engine.schedule(1.0, lambda: log.append("a"))
+            engine.schedule(3.0, lambda: log.append("c"))
+            engine.schedule(2.0, lambda: log.append("b"))
+            engine.schedule(1.0, lambda: log.append("a2"))
+
+        plain_log: list[str] = []
+        plain = SimEngine()
+        build(plain, plain_log)
+        plain.run()
+
+        ctl_log: list[str] = []
+        ctl = SimEngine()
+        ctl.set_oracle(RecordingOracle())
+        build(ctl, ctl_log)
+        ctl.run()
+
+        assert ctl_log == plain_log == ["a", "a2", "b", "c"]
+        assert ctl.now == plain.now == 3.0
+
+    def test_oracle_sees_all_live_events_and_may_defer_any(self):
+        engine = SimEngine()
+        oracle = _PickLast()
+        engine.set_oracle(oracle)
+        log: list[str] = []
+        engine.schedule(1.0, lambda: log.append("early"))
+        engine.schedule(5.0, lambda: log.append("late"))
+        engine.run()
+        # the deferred early event still runs, after the late one, and
+        # time never goes backwards (it fires at max(now, its time))
+        assert log == ["late", "early"]
+        assert engine.now == 5.0
+        assert oracle.calls == 1  # second dispatch had a single candidate
+
+    def test_schedule_at_clamps_past_times_only_in_controlled_mode(self):
+        engine = SimEngine()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+        engine.set_oracle(RecordingOracle())
+        fired: list[float] = []
+        engine.schedule_at(1.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [2.0]
+
+    def test_bad_oracle_choice_is_rejected(self):
+        engine = SimEngine()
+
+        class Bad:
+            def choose(self, time, candidates, labels):
+                return -1
+
+        engine.set_oracle(Bad())
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        with pytest.raises(RuntimeError, match="outside the candidate set"):
+            engine.run()
+
+    def test_detach_folds_pending_events_back_into_normal_queue(self):
+        engine = SimEngine()
+        engine.set_oracle(RecordingOracle())
+        log: list[str] = []
+        engine.schedule(1.0, lambda: log.append("x"))
+        engine.schedule(2.0, lambda: log.append("y"))
+        engine.run(max_events=1)
+        engine.set_oracle(None)
+        engine.run()
+        assert log == ["x", "y"]
+
+
+# -- oracles ----------------------------------------------------------------------
+
+
+class TestOracles:
+    def test_recorded_decisions_replay_identically(self):
+        def drive(oracle):
+            engine = SimEngine()
+            engine.set_oracle(oracle)
+            log: list[str] = []
+            for name in ("a", "b", "c"):
+                engine.schedule(1.0, lambda n=name: log.append(n))
+            engine.run()
+            return log
+
+        first = RecordingOracle()
+        log1 = drive(first)
+        log2 = drive(RecordingOracle(dict(first.decisions())))
+        assert log1 == log2
+
+    def test_strict_replay_raises_on_divergence(self):
+        engine = SimEngine()
+        engine.set_oracle(RecordingOracle({0: 999}))
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(1.0, lambda: None)
+        with pytest.raises(ScheduleDivergence):
+            engine.run()
+
+    def test_tolerant_replay_skips_stale_decisions(self):
+        engine = SimEngine()
+        oracle = ReplayOracle({0: 999, 1: 1})
+        engine.set_oracle(oracle)
+        log: list[int] = []
+        engine.schedule(1.0, lambda: log.append(0))
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.run()
+        assert oracle.skipped == 1
+        assert log  # the run completed despite the stale decision
+
+    def test_trace_json_roundtrip(self):
+        trace = DecisionTrace(
+            scenario="s", decisions=[(3, 7), (5, 9)], note="why"
+        )
+        assert DecisionTrace.from_json(trace.to_json()) == trace
+
+    def test_nondefault_decisions_drop_first_candidate_choices(self):
+        oracle = RecordingOracle({1: 5})
+        oracle.choose(0.0, [2, 3], None)
+        oracle.choose(0.0, [4, 5], None)
+        assert oracle.decisions() == [(0, 2), (1, 5)]
+        assert oracle.nondefault_decisions() == [(1, 5)]
+
+
+# -- happens-before monitor --------------------------------------------------------
+
+
+class TestFootprints:
+    def test_conflict_requires_shared_key_and_a_writer(self):
+        r = IntervalRegion([(0, 4)])
+        assert not ops_conflict([(("k",), False, r)], [(("k",), False, r)])
+        assert not ops_conflict([(("k",), True, r)], [(("j",), True, r)])
+        assert ops_conflict([(("k",), True, r)], [(("k",), False, r)])
+
+    def test_conflict_respects_region_overlap(self):
+        low = IntervalRegion([(0, 4)])
+        high = IntervalRegion([(4, 8)])
+        assert not ops_conflict([(("k",), True, low)], [(("k",), True, high)])
+        assert ops_conflict([(("k",), True, low)], [(("k",), True, None)])
+
+
+class TestRaceSanitizer:
+    def _monitor_with_threads(self, n=2):
+        monitor = VerifyMonitor()
+        tids = []
+        for gid in range(1, n + 1):
+            monitor.on_spawn(gid)
+            tids.append(monitor._gen_threads[gid])
+        return monitor, tids
+
+    def _on(self, monitor, tid, fn):
+        # enter the thread and tick its clock component, as the real
+        # on_event / on_resume hooks do; the raw stack pop (no merge back
+        # into the parent) keeps the two threads concurrent
+        monitor._stack.append(tid)
+        clock = monitor.clocks[tid]
+        clock[tid] = clock.get(tid, 0) + 1
+        try:
+            fn()
+        finally:
+            monitor._stack.pop()
+
+    def test_unordered_logical_write_vs_read_is_a_race(self):
+        monitor, (t1, t2) = self._monitor_with_threads()
+        item = _Item("g")
+        region = IntervalRegion([(0, 4)])
+        self._on(
+            monitor, t1, lambda: monitor.frag_write(0, item, region, "task:w")
+        )
+        self._on(
+            monitor, t2, lambda: monitor.frag_read(1, item, region, "task:r")
+        )
+        assert len(monitor.races) == 1
+        assert "task:w" in monitor.races[0].message
+
+    def test_copy_maintenance_writes_do_not_race_reads(self):
+        monitor, (t1, t2) = self._monitor_with_threads()
+        item = _Item("g")
+        region = IntervalRegion([(0, 4)])
+        self._on(
+            monitor,
+            t1,
+            lambda: monitor.frag_write(0, item, region, "replica-in"),
+        )
+        self._on(
+            monitor, t2, lambda: monitor.frag_read(1, item, region, "task:r")
+        )
+        assert monitor.races == []
+
+    def test_sync_edge_orders_the_pair(self):
+        monitor, (t1, t2) = self._monitor_with_threads()
+        item = _Item("g")
+        region = IntervalRegion([(0, 4)])
+
+        def writer():
+            monitor.frag_write(0, item, region, "task:w")
+            monitor.sync_release(("locks", item.name))
+
+        def reader():
+            monitor.sync_acquire(("locks", item.name))
+            monitor.frag_read(1, item, region, "task:r")
+
+        self._on(monitor, t1, writer)
+        self._on(monitor, t2, reader)
+        assert monitor.races == []
+
+    def test_disjoint_regions_do_not_race(self):
+        monitor, (t1, t2) = self._monitor_with_threads()
+        item = _Item("g")
+        self._on(
+            monitor,
+            t1,
+            lambda: monitor.frag_write(
+                0, item, IntervalRegion([(0, 4)]), "task:w"
+            ),
+        )
+        self._on(
+            monitor,
+            t2,
+            lambda: monitor.frag_read(
+                1, item, IntervalRegion([(4, 8)]), "task:r"
+            ),
+        )
+        assert monitor.races == []
+
+
+class TestEventAttribution:
+    def test_parents_link_child_events_to_their_scheduler(self):
+        engine = SimEngine()
+        monitor = VerifyMonitor()
+        engine.set_hb(monitor)
+        child_seq: list[int] = []
+
+        def parent():
+            event = engine.schedule(1.0, lambda: None)
+            child_seq.append(event.seq)
+
+        parent_event = engine.schedule(1.0, parent)
+        engine.run()
+        assert monitor.parents[child_seq[0]] == parent_event.seq
+        assert monitor.exec_order == [parent_event.seq, child_seq[0]]
+        engine.set_hb(None)
+
+
+# -- explorer ----------------------------------------------------------------------
+
+
+class TestExplorer:
+    def test_exploration_is_deterministic(self):
+        scenario = get_scenario("migration_under_read")
+        first = explore(scenario, budget=6)
+        second = explore(scenario, budget=6)
+        assert first.branches == second.branches
+        assert first.choice_points == second.choice_points
+        assert first.events == second.events
+        assert first.fingerprints == second.fingerprints
+
+    def test_default_schedule_is_clean_on_fixed_code(self):
+        scenario = get_scenario("migration_under_read")
+        run, _ = run_schedule(scenario, {})
+        assert run.status == "ok", run.error
+        assert not run.races
+        assert run.fingerprint
+
+    def test_explore_branches_past_the_default_schedule(self):
+        scenario = get_scenario("migration_under_read")
+        result = explore(scenario, budget=6)
+        assert result.branches > 1
+        assert result.clean

@@ -1,0 +1,85 @@
+"""Pinned schedule traces as regression tests for the protocol fixes.
+
+The model checker (``repro.verify``) rediscovered both historical
+protocol bugs under mechanical fix-reverts and shrank each repro to a
+minimal decision trace, pinned under ``traces/``.  These tests keep the
+fixes honest in both directions:
+
+* replayed against the **fixed** code, each pinned trace must complete
+  cleanly — no uncaught error, no race-sanitizer finding;
+* replayed (or explored) with the matching fix **reverted**, the bug
+  must still manifest — proving the trace tests what it claims to and
+  did not go stale.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify.explorer import DEFAULT_BUDGET
+from repro.verify.oracle import DecisionTrace
+from repro.verify.regressions import (
+    KNOWN_BUGS,
+    rediscover,
+    replay_trace,
+)
+
+TRACES = Path(__file__).resolve().parent.parent / "traces"
+
+PINNED = {
+    "write_intent_livelock": "verify_write_intent_livelock.json",
+    "ownership_thrashing": "verify_ownership_thrashing.json",
+}
+
+
+def _load(bug_name: str) -> DecisionTrace:
+    path = TRACES / PINNED[bug_name]
+    return DecisionTrace.from_json(path.read_text())
+
+
+@pytest.mark.parametrize("bug_name", sorted(PINNED))
+def test_pinned_trace_matches_known_bug(bug_name):
+    trace = _load(bug_name)
+    bug = KNOWN_BUGS[bug_name]
+    assert trace.scenario == bug.scenario
+    assert trace.note, "pinned traces must say what they reproduce"
+
+
+@pytest.mark.parametrize("bug_name", sorted(PINNED))
+def test_pinned_trace_replays_clean_on_fixed_code(bug_name):
+    run = replay_trace(_load(bug_name))
+    assert run.status == "ok", run.error
+    assert not run.races, [str(f) for f in run.races]
+
+
+@pytest.mark.parametrize("bug_name", sorted(PINNED))
+def test_pinned_trace_still_exposes_bug_under_revert(bug_name):
+    trace = _load(bug_name)
+    bug = KNOWN_BUGS[bug_name]
+    with bug.revert():
+        run = replay_trace(trace)
+    assert bug.hits(run), (
+        f"pinned trace went stale: replaying under the revert gave "
+        f"status={run.status!r} error={run.error!r} "
+        f"races={[str(f) for f in run.races]}"
+    )
+
+
+@pytest.mark.parametrize("bug_name", sorted(KNOWN_BUGS))
+def test_explorer_rediscovers_bug_within_default_budget(bug_name):
+    found = rediscover(bug_name, budget=DEFAULT_BUDGET, minimize=False)
+    assert found.found, (
+        f"{bug_name} not rediscovered within {DEFAULT_BUDGET} branches"
+    )
+    assert found.kind in ("failure", "race")
+    assert found.evidence
+
+
+def test_pinned_trace_files_are_valid_json():
+    for name in PINNED.values():
+        raw = json.loads((TRACES / name).read_text())
+        assert "scenario" in raw
+        assert isinstance(raw["decisions"], list)
