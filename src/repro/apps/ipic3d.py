@@ -257,8 +257,13 @@ def ipic3d_allscale(
     workload: IPic3DWorkload,
     config: RuntimeConfig | None = None,
     policy: SchedulingPolicy | None = None,
+    on_runtime=None,
 ) -> AppResult:
-    """Run the AllScale port of iPiC3D."""
+    """Run the AllScale port of iPiC3D.
+
+    ``on_runtime`` is called with the assembled runtime before the
+    driver starts (churn-bench hook; see :func:`stencil_allscale`).
+    """
     if config is None:
         config = RuntimeConfig()
     config = replace_functional(config, False)
@@ -270,6 +275,8 @@ def ipic3d_allscale(
         runtime.register_item(item)
     ppc = workload.particles_per_cell(nodes)
     cells = float(shape[0] * shape[1] * shape[2])
+    if on_runtime is not None:
+        on_runtime(runtime)
 
     def driver() -> Generator:
         if runtime.balancer is not None:

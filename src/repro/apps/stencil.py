@@ -196,11 +196,15 @@ def stencil_allscale(
     workload: StencilWorkload,
     config: RuntimeConfig | None = None,
     policy: SchedulingPolicy | None = None,
+    on_runtime=None,
 ) -> AppResult:
     """Run the AllScale port and return the measured result.
 
     The returned extras include the runtime (``"runtime"``) so tests can
-    inspect final data distribution and invariants.
+    inspect final data distribution and invariants.  ``on_runtime`` is
+    called with the assembled runtime before the driver starts — the
+    churn bench uses it to attach an elasticity controller whose
+    membership changes then run concurrently with the timesteps.
     """
     if config is None:
         config = RuntimeConfig()
@@ -212,6 +216,8 @@ def stencil_allscale(
     grid_b = Grid(shape, name="stencil.B")
     runtime.register_item(grid_a)
     runtime.register_item(grid_b)
+    if on_runtime is not None:
+        on_runtime(runtime)
 
     def driver() -> Generator:
         if runtime.balancer is not None:

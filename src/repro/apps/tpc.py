@@ -355,8 +355,13 @@ def tpc_allscale(
     config: RuntimeConfig | None = None,
     policy: SchedulingPolicy | None = None,
     problem: TPCProblem | None = None,
+    on_runtime=None,
 ) -> AppResult:
-    """Run the AllScale port: per-query task trees routed by the scheduler."""
+    """Run the AllScale port: per-query task trees routed by the scheduler.
+
+    ``on_runtime`` is called with the assembled runtime before the
+    driver starts (churn-bench hook; see :func:`stencil_allscale`).
+    """
     if problem is None:
         problem = make_problem(workload, cluster.num_nodes)
     if config is None:
@@ -365,6 +370,8 @@ def tpc_allscale(
     runtime = AllScaleRuntime(cluster, config, policy)
     runtime.register_item(problem.item, placement=problem.placement)
     batches = _query_batches(problem, workload.task_batch)
+    if on_runtime is not None:
+        on_runtime(runtime)
 
     def driver() -> Generator:
         if runtime.balancer is not None:
@@ -375,10 +382,14 @@ def tpc_allscale(
         values: list = []
         for wave in range(waves):
             chunk = batches[wave * per_wave : (wave + 1) * per_wave]
+            # submission points rotate over the processes that can take
+            # work *now* — on a static cluster this is every pid, under
+            # churn it skips corpses and leavers
+            origins = runtime.available_processes() or runtime.alive_processes()
             treetures = [
                 runtime.submit(
                     tpc_batch_task(problem, batch),
-                    origin=(wave * per_wave + k) % runtime.num_processes,
+                    origin=origins[(wave * per_wave + k) % len(origins)],
                 )
                 for k, batch in enumerate(chunk)
             ]

@@ -87,6 +87,14 @@ def main(argv: list[str] | None = None) -> int:
         "bytes moved, and balancer migrations",
     )
     parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="run the elasticity panel: each app under node churn "
+        "(scale-out, graceful drain, failure storms with checkpoint "
+        "recovery) sweeping churn rate x storm size; simulated values "
+        "are pinned exactly in BENCH_churn_baseline.json",
+    )
+    parser.add_argument(
         "--service",
         action="store_true",
         help="run the multi-tenant service panel: replay the committed "
@@ -215,6 +223,39 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"placement check: {problem}")
                 return 1
             print("placement check: matches committed baseline")
+            print()
+        if not (args.artifacts or args.sentinel or args.analyze):
+            return 0
+
+    if args.churn:
+        from repro.bench.churn import (
+            check_panel as check_churn,
+            churn_panel,
+            load_baseline as load_churn_baseline,
+            render_churn_summary,
+            semantic_problems as churn_semantic_problems,
+            write_baseline as write_churn_baseline,
+        )
+
+        panel = churn_panel(quick=args.quick, smoke=args.smoke)
+        print(render_churn_summary(panel))
+        print()
+        if args.write_baseline:
+            problems = churn_semantic_problems(panel)
+            if problems:
+                for problem in problems:
+                    print(f"churn panel: {problem}")
+                return 1
+            path = write_churn_baseline(panel)
+            print(f"wrote {path}")
+            print()
+        if args.check:
+            problems = check_churn(panel, load_churn_baseline())
+            if problems:
+                for problem in problems:
+                    print(f"churn check: {problem}")
+                return 1
+            print("churn check: matches committed baseline")
             print()
         if not (args.artifacts or args.sentinel or args.analyze):
             return 0

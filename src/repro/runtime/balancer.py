@@ -138,14 +138,28 @@ class LoadBalancer:
 
     # -- one balancing round -------------------------------------------------------
 
+    def on_capacity_change(self) -> None:
+        """Invalidate stale per-process state after a node joins.
+
+        Without this, ``measured_load``'s zip against the construction-
+        time sample vector silently truncated freshly joined processes
+        out of every balancing decision — new capacity was invisible.
+        """
+        current = [p.node._busy_time for p in self.runtime.processes]
+        self._last_busy.extend(current[len(self._last_busy):])
+
     def measured_load(self) -> list[float]:
         """Core-busy seconds per process since the previous sample.
 
         Busy time (not task counts) is the signal: equal task counts with
         unequal task costs are exactly the imbalance the balancer must
-        detect.
+        detect.  Processes that joined since the previous sample start a
+        fresh window (their busy time since join), so the vector always
+        spans the *current* process count.
         """
         current = [p.node._busy_time for p in self.runtime.processes]
+        if len(current) > len(self._last_busy):
+            self.on_capacity_change()
         delta = [c - last for c, last in zip(current, self._last_busy)]
         self._last_busy = current
         return delta
@@ -154,12 +168,15 @@ class LoadBalancer:
         """Migrate one slice from the busiest to the idlest process if the
         imbalance warrants it.  Returns whether a migration happened."""
         runtime = self.runtime
-        if runtime.num_processes < 2:
+        available = runtime.available_processes()
+        if len(available) < 2:
             return False
         load = self.measured_load()
-        busiest = max(range(len(load)), key=load.__getitem__)
-        idlest = min(range(len(load)), key=load.__getitem__)
-        mean = sum(load) / len(load)
+        # corpses and drainers report idle forever; migrating data onto
+        # them would strand it, so both ends come from the available set
+        busiest = max(available, key=load.__getitem__)
+        idlest = min(available, key=load.__getitem__)
+        mean = sum(load[pid] for pid in available) / len(available)
         if mean <= 0 or load[busiest] < self.imbalance_threshold * mean:
             return False
         if self.slice_fraction is not None:

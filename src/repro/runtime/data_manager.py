@@ -468,8 +468,7 @@ class DataItemManager:
         self._mark_in_flight(item, payload.region)
         try:
             yield network.send(src, self.pid, max(1, payload.nbytes))
-            yield self.process.node.execute(cfg.fragment_op_overhead)
-            self._store_payload(item, payload)
+            yield from self._land_migration(item, payload)
         finally:
             self._clear_in_flight(item, payload.region)
         runtime.metrics.incr("dm.migrations")
@@ -478,6 +477,31 @@ class DataItemManager:
             plan.record_moved(
                 item, payload.region, src, "migrate", payload.nbytes
             )
+
+    def _land_migration(
+        self, item: DataItem, payload: FragmentPayload
+    ) -> Generator:
+        """Splice an arrived migration payload — unless this node died.
+
+        A node can fail while a payload addressed to it is still on the
+        wire; the failure already dropped the destination's ownership (the
+        region reads as present nowhere, recoverable from a checkpoint),
+        so the late payload must be *dead-lettered*.  Splicing it would
+        resurrect bytes on a corpse: a fragment no one owns, invisible to
+        the index — silent data corruption the sentinel's coherence scan
+        flags immediately.
+        """
+        if self.process.failed:
+            self.process.runtime.metrics.incr("dm.dead_letter_payloads")
+            return
+        yield self.process.node.execute(
+            self.process.runtime.config.fragment_op_overhead
+        )
+        if self.process.failed:
+            # died during the splice overhead window
+            self.process.runtime.metrics.incr("dm.dead_letter_payloads")
+            return
+        self._store_payload(item, payload)
 
     def _store_payload(self, item: DataItem, payload: FragmentPayload) -> None:
         """Splice arrived bytes into the fragment (ownership already here)."""

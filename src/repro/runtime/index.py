@@ -74,6 +74,42 @@ class HierarchicalIndex:
         #: (set by RuntimeSentinel.attach)
         self.sentinel = None
 
+    # -- elastic membership -----------------------------------------------------------
+
+    def grow(self, num_processes: int) -> None:
+        """Extend the hierarchy to cover ``num_processes`` leaves.
+
+        Joining processes own nothing yet, so every existing leaf (and
+        therefore every existing ancestor on its path) keeps its cover;
+        only *new root levels* appear, each covering exactly what the old
+        root did.  Ownership versions are untouched — no leaf changed —
+        so per-origin lookup caches stay valid: the newcomer's empty leaf
+        cannot invalidate placement knowledge already learned.
+        """
+        if num_processes < self.num_processes:
+            raise ValueError(
+                f"index cannot shrink from {self.num_processes} to "
+                f"{num_processes} processes (departures keep their leaves)"
+            )
+        if num_processes == self.num_processes:
+            return
+        old_levels = self.levels
+        levels = 1
+        while (1 << (levels - 1)) < num_processes:
+            levels += 1
+        if levels > old_levels:
+            for item in self._items:
+                base = self._cover.get((item, old_levels, 0))
+                if base is None:
+                    continue
+                # new root levels are all rooted at 0; the right child of
+                # each is entirely made of (empty) newcomers, so each new
+                # root covers exactly the old root's region
+                for level in range(old_levels + 1, levels + 1):
+                    self._cover[(item, level, 0)] = base
+        self.num_processes = num_processes
+        self.levels = levels
+
     # -- hierarchy geometry ---------------------------------------------------------
 
     def node_root(self, level: int, process: int) -> int:

@@ -48,6 +48,10 @@ class RuntimeProcess:
         self.queue: deque[tuple[TaskSpec, Treeture, str]] = deque()
         self.active = 0
         self.failed = False
+        #: graceful scale-in in progress: still alive (finishes its active
+        #: tasks, serves reads), but new placements route around it and
+        #: late arrivals are forwarded to a survivor
+        self.draining = False
         self.executed_leaves = 0
         self.executed_splits = 0
         self._dispatching = False
@@ -66,6 +70,15 @@ class RuntimeProcess:
             raise RuntimeError(
                 f"task {task.name!r} dispatched to failed process {self.pid}"
             )
+        if self.draining:
+            # a parcel that left before the drain began: forward it to the
+            # survivor dispatch would pick now, synchronously — the drain
+            # loop never sees it, so departure cannot strand queued work
+            target = self.runtime._redirect_if_failed(self.pid)
+            if target != self.pid:
+                self.runtime.metrics.incr("elastic.forwarded_tasks")
+                self.runtime.process(target).enqueue(task, treeture, variant)
+                return
         tracer = self.runtime.tracer
         if tracer is not None and variant != "split":
             tracer.on_enqueue(
@@ -303,8 +316,12 @@ class RuntimeProcess:
             probe += 1
         thief = runtime.process(probe)
         cfg = runtime.config
+        if thief.failed or thief.draining:
+            return  # corpses and leavers don't steal
         # steal handshake: probe + response
         yield runtime.network.send(probe, self.pid, cfg.control_message_bytes)
+        if thief.failed or thief.draining:
+            return  # the peer left while the probe travelled
         if thief.active > 0 or thief.queue_length() > 0:
             return  # peer is busy; nothing moves
         if self.queue_length() < 2:

@@ -125,6 +125,12 @@ class ResilienceManager:
                 lost = lost.difference(
                     process.data_manager.present_region(item)
                 )
+                if not process.failed:
+                    # in flight to a live owner: the bytes are on the
+                    # wire, not lost — restoring them would double-own
+                    lost = lost.difference(
+                        process.data_manager.in_flight_region(item)
+                    )
             if lost.is_empty():
                 continue
             for _pid, payload in entries:
@@ -139,6 +145,25 @@ class ResilienceManager:
                     source, target.pid, max(1, sub.nbytes)
                 )
                 yield target.node.execute(cfg.fragment_op_overhead)
+                # re-check under the synchronous horizon: while the restore
+                # payload was on the wire, a running task may have first-
+                # touched part of the lost region (the index reported it
+                # present nowhere — that is what "lost" means).  The live
+                # allocation wins; restoring over it would create two
+                # owners.  Only what is *still* absent everywhere lands.
+                still_lost = sub.region
+                for process in runtime.processes:
+                    still_lost = still_lost.difference(
+                        process.data_manager.present_region(item)
+                    )
+                    if not process.failed:
+                        still_lost = still_lost.difference(
+                            process.data_manager.in_flight_region(item)
+                        )
+                if still_lost.is_empty():
+                    continue
+                if not still_lost.same_elements(sub.region):
+                    sub = _extract_sub_payload(item, sub, still_lost)
                 target.data_manager.import_owned(item, sub)
             runtime.metrics.incr("resilience.recovered_items")
         if runtime.sentinel is not None:

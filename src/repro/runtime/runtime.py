@@ -191,6 +191,50 @@ class AllScaleRuntime:
         if item in self._items:
             self._items.remove(item)
 
+    # -- elastic membership (dynamic environments, paper §2.4 outlook) ---------------------
+
+    def add_process(
+        self,
+        cores: int | None = None,
+        flops_per_core: float | None = None,
+        memory_bytes: float | None = None,
+        gpus: int | None = None,
+    ) -> int:
+        """Grow the runtime by one process on a freshly joined node.
+
+        The cluster gains a (possibly heterogeneous) node, the index
+        hierarchy grows to cover the new leaf, and the structural home
+        maps are recomputed over the new process count so first-touch
+        spreading includes the newcomer.  Existing ownership is untouched
+        — use :func:`repro.runtime.elastic.scale_out` to also migrate an
+        ownership share over.  Returns the new pid.
+        """
+        node_id = self.cluster.add_node(
+            cores=cores,
+            flops_per_core=flops_per_core,
+            memory_bytes=memory_bytes,
+            gpus=gpus,
+        )
+        self.index.grow(self.cluster.num_nodes)
+        process = RuntimeProcess(self, node_id, self.cluster.node(node_id))
+        self.processes.append(process)
+        self._refresh_home_maps()
+        if self.balancer is not None:
+            self.balancer.on_capacity_change()
+        self.metrics.incr("runtime.nodes_joined")
+        return node_id
+
+    def _refresh_home_maps(self) -> None:
+        """Recompute structural spreading hints after a capacity change."""
+        for item in self._items:
+            try:
+                homes: list[Region] | None = item.decompose(
+                    self.num_processes
+                )
+            except NotImplementedError:
+                homes = None
+            self._home_maps[item] = homes
+
     # -- node failure (dynamic environments, paper §2.4 outlook) ---------------------------
 
     def fail_process(self, pid: int) -> None:
@@ -223,6 +267,19 @@ class AllScaleRuntime:
             manager.fragments.pop(item, None)
             manager.owned.pop(item, None)
             self.index.update_ownership(item, pid, item.empty_region())
+        # transfers addressed to the corpse: the markers die with it (the
+        # ownership they covered was just dropped above), and any payload
+        # still on the wire is discarded on arrival (dead-lettered) —
+        # waiters re-check and find the regions present nowhere
+        manager._in_flight.clear()
+        manager._fetching.clear()
+        for waiters in (
+            manager._in_flight_waiters,
+            manager._fetching_waiters,
+        ):
+            pending, waiters[:] = list(waiters), []
+            for waiter in pending:
+                waiter.complete(None)
         process.node.memory_used = 0.0
         if self.sentinel is not None:
             # sanctioned coverage drop: re-baseline global coverage
@@ -232,18 +289,36 @@ class AllScaleRuntime:
     def alive_processes(self) -> list[int]:
         return [p.pid for p in self.processes if not p.failed]
 
+    def available_processes(self) -> list[int]:
+        """Processes eligible for new work: alive and not draining."""
+        return [
+            p.pid for p in self.processes if not (p.failed or p.draining)
+        ]
+
     def _redirect_if_failed(self, target: int) -> int:
-        """Route around failed processes (next alive pid, wrapping)."""
-        if not self.processes[target].failed:
+        """Route around failed/draining processes (next available pid).
+
+        Draining processes are still alive — they finish what they hold —
+        but accept no new placements; dispatch skips them exactly like a
+        corpse, falling back to a merely-alive process only when every
+        process is draining at once.
+        """
+        process = self.processes[target]
+        if not (process.failed or process.draining):
             return target
-        alive = self.alive_processes()
-        if not alive:
-            raise RuntimeError("all processes have failed")
         for offset in range(1, self.num_processes + 1):
-            candidate = (target + offset) % self.num_processes
-            if not self.processes[candidate].failed:
-                return candidate
-        raise AssertionError("unreachable")
+            candidate = self.processes[
+                (target + offset) % self.num_processes
+            ]
+            if not (candidate.failed or candidate.draining):
+                return candidate.pid
+        for offset in range(1, self.num_processes + 1):
+            candidate = self.processes[
+                (target + offset) % self.num_processes
+            ]
+            if not candidate.failed:
+                return candidate.pid
+        raise RuntimeError("all processes have failed")
 
     # -- replica registry ---------------------------------------------------------------
 

@@ -105,6 +105,9 @@ class Scheduler:
                 cfg.remote_task_cpu_overhead
             )
             yield runtime.network.send(origin, target, cfg.task_message_bytes)
+            # the target can fail or start draining while the parcel is on
+            # the wire; land at the process dispatch would pick *now*
+            target = runtime._redirect_if_failed(target)
             yield runtime.process(target).node.execute(
                 cfg.remote_task_cpu_overhead
             )
@@ -211,6 +214,9 @@ class Scheduler:
             yield runtime.network.send_bulk(
                 origin, target, [cfg.task_message_bytes] * len(entries)
             )
+            # the destination may have failed or begun draining while the
+            # bulk parcel travelled; the whole batch lands at its stand-in
+            target = runtime._redirect_if_failed(target)
             for task, treeture, variant, lookup in entries:
                 yield runtime.process(target).node.execute(
                     cfg.remote_task_cpu_overhead

@@ -736,6 +736,14 @@ class RuntimeSentinel:
                 present = present.union(
                     process.data_manager.present_region(item)
                 )
+                if not process.failed:
+                    # owned-but-in-flight at a live process is bytes on
+                    # the wire to a live owner (a concurrent migration
+                    # overlapping the recovery), not lost data — same
+                    # allowance the coherence scan makes
+                    present = present.union(
+                        process.data_manager.in_flight_region(item)
+                    )
             missing = expected.difference(present)
             if not missing.is_empty():
                 self._report(

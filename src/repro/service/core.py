@@ -32,7 +32,7 @@ items and schedulers stay isolated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Generator
 
 from repro.analysis.expansion import AnalysisConfig
@@ -440,6 +440,58 @@ class ServiceCore:
         """Stop admitting; already-queued jobs still run to completion."""
         self.draining = True
         self.metrics.incr("service.drain_requests")
+
+    # -- elasticity --------------------------------------------------------------
+
+    def add_node(
+        self,
+        cores: int | None = None,
+        flops_per_core: float | None = None,
+        memory_bytes: int | None = None,
+        gpus: int | None = None,
+    ) -> int:
+        """Grow the shared cluster by one node and rescale tenant quotas.
+
+        Jobs already running keep their runtime's original process set
+        (an AllScale runtime's index geometry is fixed at construction);
+        jobs dispatched from here on span the enlarged cluster.
+        """
+        node_id = self.cluster.add_node(
+            cores=cores,
+            flops_per_core=flops_per_core,
+            memory_bytes=memory_bytes,
+            gpus=gpus,
+        )
+        self.on_capacity_change()
+        return node_id
+
+    def on_capacity_change(self) -> None:
+        """Recompute metered tenant budgets for the current capacity.
+
+        ``max_node_seconds`` quotas were sized against the configured
+        cluster; when capacity changes they scale pro-rata against the
+        *original* core count (idempotent — repeated calls do not
+        compound).  A shrink never cuts a budget below what a tenant has
+        already used plus reserved, so the ledger oversubscription
+        invariant keeps holding for in-flight work.
+        """
+        baseline = self.config.nodes * self.config.cores_per_node
+        factor = self.cluster.total_cores() / baseline
+        for name, ledger in self.ledgers.items():
+            configured = next(
+                t for t in self.config.tenants if t.name == name
+            )
+            if configured.max_node_seconds is None:
+                continue
+            scaled = max(
+                configured.max_node_seconds * factor,
+                ledger.used + ledger.reserved,
+            )
+            ledger.config = replace(
+                ledger.config, max_node_seconds=scaled
+            )
+        self.metrics.incr("service.capacity_changes")
+        self.metrics.set("service.total_cores", self.cluster.total_cores())
 
     # -- introspection -----------------------------------------------------------
 

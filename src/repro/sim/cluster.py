@@ -95,20 +95,70 @@ class Cluster:
 
     @property
     def num_nodes(self) -> int:
-        return self.spec.num_nodes
+        # capacity-change-safe: elastic clusters add nodes after
+        # construction, so the live node list is authoritative, not the
+        # (frozen) spec the cluster started from
+        return len(self.nodes)
 
     def node(self, node_id: int) -> SimNode:
         return self.nodes[node_id]
+
+    def add_node(
+        self,
+        cores: int | None = None,
+        flops_per_core: float | None = None,
+        memory_bytes: float | None = None,
+        gpus: int | None = None,
+    ) -> int:
+        """Grow the cluster by one node mid-run; returns its node id.
+
+        The new node may be heterogeneous — a different core count,
+        per-core rate (the GPU-variant machinery's speed knob applied
+        per node), memory size, or accelerator count than the founding
+        spec.  The network gains a NIC pair and the fat tree is regrown
+        so hop counts include the newcomer.
+        """
+        spec = self.spec
+        node_id = len(self.nodes)
+        node = SimNode(
+            self.engine,
+            node_id=node_id,
+            cores=cores if cores is not None else spec.cores_per_node,
+            flops_per_core=(
+                flops_per_core
+                if flops_per_core is not None
+                else spec.flops_per_core
+            ),
+            memory_bytes=(
+                memory_bytes
+                if memory_bytes is not None
+                else spec.memory_per_node
+            ),
+            metrics=self.metrics,
+        )
+        self.nodes.append(node)
+        count = gpus if gpus is not None else spec.gpus_per_node
+        self.accelerators.append(
+            [
+                SimAccelerator(self.engine, device_id=k, spec=spec.gpu)
+                for k in range(count)
+            ]
+        )
+        self.topology = FatTreeTopology(len(self.nodes), spec.switch_radix)
+        self.network.attach_node(self.topology)
+        self.metrics.incr("cluster.nodes_added")
+        return node_id
 
     def run(self, until: float | None = None) -> int:
         """Drive the event loop; returns the number of events processed."""
         return self.engine.run(until=until)
 
     def total_cores(self) -> int:
-        return self.spec.num_nodes * self.spec.cores_per_node
+        # nodes may be heterogeneous after add_node; sum, don't multiply
+        return sum(node.num_cores for node in self.nodes)
 
     def __repr__(self) -> str:
         return (
-            f"Cluster({self.spec.num_nodes} nodes × "
+            f"Cluster({self.num_nodes} nodes × "
             f"{self.spec.cores_per_node} cores, t={self.engine.now:.6g}s)"
         )

@@ -184,6 +184,24 @@ class Network:
             + cfg.recv_overhead
         )
 
+    # -- elastic membership ------------------------------------------------------------
+
+    def attach_node(self, topology: FatTreeTopology) -> None:
+        """Adopt a grown topology and give each new node a fresh NIC pair.
+
+        Called by :meth:`repro.sim.cluster.Cluster.add_node`; the NIC
+        list is sized at construction, so joining nodes must extend it or
+        their first send would index out of range.
+        """
+        if topology.num_nodes < len(self._nics):
+            raise ValueError(
+                f"topology shrank from {len(self._nics)} to "
+                f"{topology.num_nodes} nodes; departures keep their NICs"
+            )
+        self.topology = topology
+        while len(self._nics) < topology.num_nodes:
+            self._nics.append(_NicState())
+
     # -- introspection ---------------------------------------------------------------
 
     def nic_backlog(self, node: int) -> float:

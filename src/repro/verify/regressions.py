@@ -89,6 +89,33 @@ def revert_read_escalation() -> Iterator[None]:
         DataItemManager._escalate_fetch = original  # type: ignore[method-assign]
 
 
+@contextmanager
+def revert_migration_dead_letter() -> Iterator[None]:
+    """Revert the dead-lettering of payloads addressed to failed nodes.
+
+    Originally ``_land_migration`` spliced every arrived payload
+    unconditionally; a payload whose destination died mid-wire then
+    resurrected bytes on the corpse — a fragment no process owns,
+    invisible to the index — which the sentinel's coherence scan flags
+    as a registry/fragment disagreement.
+    """
+    from repro.runtime.data_manager import DataItemManager
+
+    original = DataItemManager._land_migration
+
+    def reverted(self, item, payload) -> Generator:
+        yield self.process.node.execute(
+            self.process.runtime.config.fragment_op_overhead
+        )
+        self._store_payload(item, payload)
+
+    DataItemManager._land_migration = reverted  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        DataItemManager._land_migration = original  # type: ignore[method-assign]
+
+
 @dataclass(frozen=True)
 class KnownBug:
     """One historical bug: a revert, a scenario that can expose it, and
@@ -147,6 +174,15 @@ KNOWN_BUGS: dict[str, KnownBug] = {
             scenario="balancer_vs_pin",
             revert=revert_read_escalation,
             error_signatures=("replica starvation?",),
+        ),
+        KnownBug(
+            name="migration_corpse_splice",
+            scenario="node_failure_during_migration",
+            revert=revert_migration_dead_letter,
+            error_signatures=(
+                "disagrees with its fragment",
+                "owns data it neither holds nor awaits",
+            ),
         ),
     )
 }

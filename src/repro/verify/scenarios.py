@@ -311,7 +311,89 @@ def _replica_cache_invalidation() -> ScenarioInstance:
     )
 
 
-# -- scenario 5: service admission races ---------------------------------------------
+# -- scenario 5: node failure during migration ---------------------------------------
+
+
+def _node_failure_during_migration() -> ScenarioInstance:
+    """A migration destination dies while the payload is on the wire.
+
+    Ownership moved to the destination at export time; the crash drops it
+    and the late payload must be *dead-lettered* — splicing it onto the
+    corpse would leave bytes no process owns, invisible to the index.
+    The choreography is event-driven (fail exactly when the in-flight
+    marker appears), so the payload is mid-wire on every schedule; the
+    fixed code recovers the lost regions from a checkpoint and a final
+    read sees checkpoint-consistent values.
+    """
+    from repro.runtime.resilience import ResilienceManager
+
+    runtime = _make_runtime(3)
+    grid = Grid((6, 2), name="g")
+    runtime.register_item(grid, placement=grid.decompose(3))
+    resilience = ResilienceManager(runtime)
+    results: list[Any] = []
+
+    def seed(pid: int) -> TaskSpec:
+        region = runtime.process(pid).data_manager.owned_region(grid)
+
+        def body(ctx: Any) -> float:
+            for box in region.boxes:
+                ctx.fragment(grid).scatter(
+                    box, np.full(box.widths(), float(pid + 1))
+                )
+            return float(pid + 1)
+
+        return TaskSpec(
+            name=f"seed{pid}",
+            writes={grid: region},
+            flops=1e5,
+            size_hint=region.size(),
+            body=body,
+        )
+
+    def read_body(ctx: Any) -> float:
+        return float(ctx.fragment(grid).gather(Box.of((0, 0), (6, 2))).sum())
+
+    reader = TaskSpec(
+        name="survivor-read",
+        reads={grid: grid.box((0, 0), (6, 2))},
+        flops=1e5,
+        size_hint=12,
+        body=read_body,
+    )
+
+    def choreography() -> Generator:
+        snapshot = yield from resilience.checkpoint()
+        src, dst = 1, 2
+        destination = runtime.process(dst).data_manager
+        moving = runtime.process(src).data_manager.owned_region(grid)
+        migration = runtime.spawn(
+            destination._migrate_in(grid, moving, src)
+        )
+        # fail the destination the moment the payload is marked in
+        # flight — after the atomic ownership handover, before landing
+        while not destination._in_flight:
+            yield 1e-7
+        runtime.fail_process(dst)
+        while not migration.done:
+            yield 1e-7
+        yield from resilience.recover_lost_data(snapshot)
+
+    def run() -> None:
+        seeds = [runtime.submit(seed(pid), origin=pid) for pid in range(3)]
+        results.extend(_drive(runtime, seeds))
+        fate = runtime.spawn(choreography())
+        while not fate.done:
+            if runtime.engine.run(max_events=100_000) == 0:
+                raise RuntimeError("failure choreography never completed")
+        results.extend(_drive(runtime, [runtime.submit(reader, origin=0)]))
+
+    return ScenarioInstance(
+        runtime.engine, run, lambda: _runtime_fingerprint(runtime, results)
+    )
+
+
+# -- scenario 6: service admission races ---------------------------------------------
 
 
 def _service_admission() -> ScenarioInstance:
@@ -390,6 +472,14 @@ SCENARIOS: dict[str, Scenario] = {
             "coalesced + prefetched replica fetches against a tiny "
             "replica cache and an invalidating writer (2 nodes)",
             _replica_cache_invalidation,
+        ),
+        Scenario(
+            "node_failure_during_migration",
+            "the destination of an ownership migration crashes while "
+            "the payload is on the wire; the late payload must be "
+            "dead-lettered and the loss recovered from a checkpoint "
+            "(3 nodes)",
+            _node_failure_during_migration,
         ),
         Scenario(
             "service_admission",

@@ -1,0 +1,316 @@
+"""Tests for the churn panel's baseline bookkeeping.
+
+These use hand-built panels (the real sweep is exercised by the
+``--churn`` CLI and its committed baseline); what is under test here is
+the exact-match checking, the semantic gates a run must clear before it
+may be pinned, the merge-per-mode baseline file handling, and the
+deterministic schedule shapes — plus one real (tiny) cell driving
+:func:`_run_cell` end to end with a churn controller attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.stencil import StencilWorkload
+from repro.bench.churn import (
+    CHURN_SCHEMA_VERSION,
+    ChurnCell,
+    ChurnPanel,
+    _grid,
+    _run_cell,
+    _schedule,
+    check_panel,
+    load_baseline,
+    panel_mode,
+    panel_section,
+    render_churn_summary,
+    semantic_problems,
+    write_baseline,
+)
+from repro.runtime.elastic import ChurnEvent
+
+APPS = ("stencil", "ipic3d", "tpc")
+SCENARIOS = ("baseline", "scale_out", "drain", "storm1xr1")
+
+
+def _metrics(scenario: str) -> dict[str, float]:
+    if scenario == "baseline":
+        return {"elastic.churn_events": 0.0}
+    metrics = {"elastic.churn_events": 2.0}
+    if scenario == "scale_out":
+        metrics["elastic.joins"] = 2.0
+        metrics["elastic.join_migrated_bytes"] = 4096.0
+    if scenario == "drain":
+        metrics["elastic.drains"] = 1.0
+        metrics["elastic.evacuated_bytes"] = 8192.0
+    if scenario.startswith("storm"):
+        metrics["elastic.failures"] = 1.0
+        metrics["elastic.restored_bytes"] = 2048.0
+    return metrics
+
+
+def _panel(mode="smoke"):
+    """A sweep that clears every semantic gate, as required for a pin."""
+    panel = ChurnPanel(mode=mode, start_nodes=3, sentinel_attached=True)
+    for app_index, app in enumerate(APPS):
+        for scenario_index, scenario in enumerate(SCENARIOS):
+            panel.cells.append(
+                ChurnCell(
+                    app=app,
+                    scenario=scenario,
+                    sim_elapsed=0.5 * (1 + app_index) + 0.01 * scenario_index,
+                    metrics=_metrics(scenario),
+                    membership_changes=0 if scenario == "baseline" else 2,
+                    final_processes=3 if scenario == "baseline" else 2,
+                    sentinel_violations=0,
+                )
+            )
+        panel.wall_seconds[app] = 1.0
+    return panel
+
+
+def _replace_cell(panel, app, scenario, **changes):
+    for index, cell in enumerate(panel.cells):
+        if (cell.app, cell.scenario) == (app, scenario):
+            panel.cells[index] = dataclasses.replace(cell, **changes)
+            return
+    raise AssertionError("cell not found")
+
+
+class TestModeAndSchedule:
+    def test_panel_mode(self):
+        assert panel_mode(quick=False, smoke=True) == "smoke"
+        assert panel_mode(quick=True, smoke=False) == "quick"
+        assert panel_mode(quick=False, smoke=False) == "full"
+        # smoke wins over quick, matching the CLI's precedence
+        assert panel_mode(quick=True, smoke=True) == "smoke"
+
+    def test_grid_grows_with_mode(self):
+        smoke_nodes, smoke_grid = _grid("smoke")
+        quick_nodes, quick_grid = _grid("quick")
+        full_nodes, full_grid = _grid("full")
+        assert smoke_nodes < quick_nodes < full_nodes
+        assert len(smoke_grid) < len(quick_grid) < len(full_grid)
+
+    def test_baseline_schedule_is_empty(self):
+        assert _schedule("baseline", 10.0, 0, 0) == []
+
+    def test_scale_out_schedule_only_joins(self):
+        events = _schedule("scale_out", 10.0, 0, 0)
+        assert events and all(e.kind == "join" for e in events)
+        assert all(0.0 < e.at < 10.0 for e in events)
+
+    def test_drain_schedule(self):
+        events = _schedule("drain", 10.0, 0, 0)
+        assert [e.kind for e in events] == ["drain"]
+
+    def test_storm_schedule_shape(self):
+        rate, storm = 2, 3
+        events = _schedule("storm3xr2", 10.0, rate, storm)
+        kinds = [e.kind for e in events]
+        assert kinds.count("join") == rate
+        assert kinds.count("drain") == rate
+        storms = [e for e in events if e.kind == "storm"]
+        assert len(storms) == 1 and storms[0].count == storm
+        # the schedule replays in order: events must already be sorted
+        assert [e.at for e in events] == sorted(e.at for e in events)
+
+
+class TestSemanticProblems:
+    def test_clean_panel(self):
+        assert semantic_problems(_panel()) == []
+
+    def test_sentinel_violation_rejected(self):
+        panel = _panel()
+        _replace_cell(panel, "tpc", "drain", sentinel_violations=2)
+        problems = semantic_problems(panel)
+        assert len(problems) == 1
+        assert "tpc/drain" in problems[0]
+        assert "sentinel" in problems[0]
+
+    def test_baseline_must_not_churn(self):
+        panel = _panel()
+        _replace_cell(
+            panel, "stencil", "baseline",
+            metrics={"elastic.churn_events": 1.0},
+        )
+        assert any(
+            "baseline saw churn" in p for p in semantic_problems(panel)
+        )
+
+    def test_churn_scenario_must_apply_events(self):
+        panel = _panel()
+        _replace_cell(panel, "stencil", "drain", metrics={})
+        problems = semantic_problems(panel)
+        assert any("no churn events applied" in p for p in problems)
+        assert any("no node drained" in p for p in problems)
+
+    def test_scale_out_must_join(self):
+        panel = _panel()
+        _replace_cell(
+            panel, "ipic3d", "scale_out",
+            metrics={"elastic.churn_events": 2.0},
+        )
+        assert any("no node joined" in p for p in semantic_problems(panel))
+
+    def test_drain_must_evacuate(self):
+        panel = _panel()
+        _replace_cell(
+            panel, "ipic3d", "drain",
+            metrics={
+                "elastic.churn_events": 1.0,
+                "elastic.drains": 1.0,
+                "elastic.evacuated_bytes": 0.0,
+            },
+        )
+        assert any(
+            "evacuated no data" in p for p in semantic_problems(panel)
+        )
+
+    def test_storm_must_fail_nodes(self):
+        panel = _panel()
+        _replace_cell(
+            panel, "tpc", "storm1xr1",
+            metrics={"elastic.churn_events": 1.0},
+        )
+        assert any(
+            "storm failed no nodes" in p for p in semantic_problems(panel)
+        )
+
+
+class TestCheckPanel:
+    def _baseline(self, panel):
+        return {
+            "schema": CHURN_SCHEMA_VERSION,
+            "modes": {panel.mode: panel_section(panel)},
+        }
+
+    def test_no_baseline(self):
+        problems = check_panel(_panel(), None)
+        assert problems and "no baseline" in problems[0]
+
+    def test_missing_mode_section(self):
+        panel = _panel()
+        problems = check_panel(panel, {"schema": 1, "modes": {}})
+        assert problems == [f"baseline has no {panel.mode!r} section"]
+
+    def test_exact_match_passes(self):
+        panel = _panel()
+        assert check_panel(panel, self._baseline(panel)) == []
+
+    def test_sim_elapsed_drift_is_exact(self):
+        panel = _panel()
+        baseline = self._baseline(panel)
+        _replace_cell(panel, "stencil", "drain", sim_elapsed=99.0)
+        problems = check_panel(panel, baseline)
+        assert any(
+            "stencil/drain" in p and "simulated elapsed changed" in p
+            for p in problems
+        )
+
+    def test_metric_drift_is_exact(self):
+        panel = _panel()
+        baseline = self._baseline(panel)
+        metrics = dict(_metrics("drain"))
+        metrics["elastic.evacuated_bytes"] += 1.0
+        _replace_cell(panel, "tpc", "drain", metrics=metrics)
+        problems = check_panel(panel, baseline)
+        assert any(
+            "tpc/drain elastic.evacuated_bytes" in p for p in problems
+        )
+
+    def test_membership_and_survivors_pinned(self):
+        panel = _panel()
+        baseline = self._baseline(panel)
+        _replace_cell(
+            panel, "ipic3d", "scale_out",
+            membership_changes=5, final_processes=9,
+        )
+        problems = check_panel(panel, baseline)
+        assert any("membership_changes" in p for p in problems)
+        assert any("final_processes" in p for p in problems)
+
+    def test_cell_set_must_match(self):
+        panel = _panel()
+        baseline = self._baseline(panel)
+        extra = dataclasses.replace(panel.cells[-1], scenario="storm9xr9")
+        panel.cells.append(extra)
+        del panel.cells[0]
+        problems = check_panel(panel, baseline)
+        assert any("not in baseline" in p for p in problems)
+        assert any("in baseline but not in run" in p for p in problems)
+
+    def test_start_nodes_pinned(self):
+        panel = _panel()
+        baseline = self._baseline(panel)
+        panel.start_nodes = 7
+        assert any(
+            "start nodes changed" in p
+            for p in check_panel(panel, baseline)
+        )
+
+    def test_wall_clock_tolerance(self):
+        panel = _panel()
+        baseline = self._baseline(panel)
+        for app in panel.wall_seconds:
+            panel.wall_seconds[app] *= 10.0
+        assert any(
+            "wall clock regressed" in p
+            for p in check_panel(panel, baseline)
+        )
+        # simulated drift is exact, wall drift is tolerated up to 20%
+        for app in panel.wall_seconds:
+            panel.wall_seconds[app] = 1.1
+        assert check_panel(panel, baseline) == []
+
+
+class TestBaselineFile:
+    def test_roundtrip_merges_per_mode(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        assert load_baseline(path) is None
+        smoke = _panel("smoke")
+        quick = _panel("quick")
+        write_baseline(smoke, path)
+        write_baseline(quick, path)
+        baseline = load_baseline(path)
+        assert baseline["schema"] == CHURN_SCHEMA_VERSION
+        assert set(baseline["modes"]) == {"smoke", "quick"}
+        assert check_panel(smoke, baseline) == []
+        assert check_panel(quick, baseline) == []
+
+    def test_committed_baseline_has_all_modes(self):
+        baseline = load_baseline()
+        assert baseline is not None
+        assert baseline["schema"] == CHURN_SCHEMA_VERSION
+        assert set(baseline["modes"]) >= {"smoke", "quick", "full"}
+
+
+class TestRenderSummary:
+    def test_summary_lists_cells_and_wall(self):
+        text = render_churn_summary(_panel())
+        assert "Churn sweep" in text
+        assert "strict sentinel attached" in text
+        for app in APPS:
+            assert f"{app}/drain" in text
+        assert "wall" in text
+
+
+class TestRunCell:
+    def test_tiny_cell_with_churn_completes(self):
+        workload = StencilWorkload(
+            n_per_node=400, timesteps=2, functional=False
+        )
+        events = [
+            ChurnEvent(at=1e-4, kind="join"),
+            ChurnEvent(at=2e-4, kind="drain"),
+        ]
+        result, runtime, controller, snapshot, _violations = _run_cell(
+            "stencil", workload, 3, events
+        )
+        assert controller is not None and controller.done
+        assert snapshot.get("elastic.churn_events") == 2.0
+        assert snapshot.get("elastic.joins") == 1.0
+        assert snapshot.get("elastic.drains") == 1.0
+        assert result.elapsed > 0.0
+        assert len(runtime.alive_processes()) == 3

@@ -32,6 +32,7 @@ TRACES = Path(__file__).resolve().parent.parent / "traces"
 PINNED = {
     "write_intent_livelock": "verify_write_intent_livelock.json",
     "ownership_thrashing": "verify_ownership_thrashing.json",
+    "migration_corpse_splice": "verify_node_failure_during_migration.json",
 }
 
 
